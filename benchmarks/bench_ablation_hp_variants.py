@@ -1,0 +1,43 @@
+"""Ablation — Hamiltonian-path variations (§3.4).
+
+"Some variations exist, such as using two Hamiltonian paths with
+opposite directions sending distinct data, or using one Hamiltonian
+path such that the source node is at the center of the path.  However,
+these variations only affect delays, and the number of cycles per
+packet, by at most a factor of two."
+"""
+
+from repro.collectives import broadcast
+from repro.sim import PortModel
+from repro.topology import Hypercube
+
+
+def _cycles(n: int, M: int, B: int) -> dict[tuple[str, str], int]:
+    cube = Hypercube(n)
+    out = {}
+    for algo in ("hp", "hp-centered", "hp-dual"):
+        for pm in PortModel:
+            out[(algo, pm.name)] = broadcast(cube, 0, algo, M, B, pm).cycles
+    return out
+
+
+def test_ablation_hp_variants(benchmark, show):
+    n, M, B = 5, 32, 1
+    cycles = benchmark(_cycles, n, M, B)
+    print()
+    for (algo, pm), c in sorted(cycles.items()):
+        print(f"  {algo:<12} {pm:<16} {c:>4} cycles")
+    for pm in ("ONE_PORT_HALF", "ONE_PORT_FULL", "ALL_PORT"):
+        base = cycles[("hp", pm)]
+        for variant in ("hp-centered", "hp-dual"):
+            v = cycles[(variant, pm)]
+            # the paper's claim: within a factor of two either way
+            # (centered halves the delay but doubles the root's sends;
+            # dual halves the packet term but not under one port)
+            assert v <= 2 * base + 2 and base <= 2 * v + 2, (variant, pm)
+
+    # single-packet propagation delay: centered halves the path
+    one = _cycles(n, 1, 1)
+    assert one[("hp-centered", "ALL_PORT")] <= one[("hp", "ALL_PORT")] // 2 + 2
+    # steady state under all ports: dual moves two packets per cycle
+    assert cycles[("hp-dual", "ALL_PORT")] <= cycles[("hp", "ALL_PORT")] - M // 2 + 2

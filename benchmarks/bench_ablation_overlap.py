@@ -1,0 +1,31 @@
+"""Ablation — the cross-port overlap factor.
+
+§5.2 attributes the measured BST scatter advantage to the iPSC's ~20 %
+overlap between communication actions on different ports.  Sweeping the
+overlap factor in the machine model shows the BST's relative advantage
+grow monotonically with the available overlap — zero overlap, no
+advantage.
+"""
+
+from repro.experiments import run_fig8
+from repro.sim.machine import IPSC_D7
+
+
+def _sweep(overlaps: tuple[float, ...]) -> list[tuple[float, float]]:
+    out = []
+    for o in overlaps:
+        report = run_fig8((5,), 1024, IPSC_D7.with_overlap(o))
+        out.append((o, float(report.rows[0][3])))  # BST/SBT ratio
+    return out
+
+
+def test_ablation_overlap_sweep(benchmark, show):
+    results = benchmark(_sweep, (0.0, 0.1, 0.2, 0.3))
+    print()
+    for o, ratio in results:
+        print(f"  overlap={o:.1f}  BST/SBT={ratio:.3f}")
+    ratios = [r for _, r in results]
+    # BST's advantage grows with overlap (ratio falls)
+    for a, b in zip(ratios, ratios[1:]):
+        assert b <= a + 0.02, results
+    assert ratios[-1] < ratios[0] - 0.05, results

@@ -1,0 +1,29 @@
+"""Figure 5 — SBT broadcasting time on the iPSC model.
+
+Shape claims reproduced: time grows almost linearly with message size;
+external packet sizes below the 1 KB internal packet size cost more
+(more start-ups); larger cubes pay proportionally more (the SBT factor
+is log N).
+"""
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_sbt_packet_size(benchmark, show):
+    report = benchmark(
+        run_fig5, (2, 4, 6), (256, 1024, 4096), (4096, 16384, 61440)
+    )
+    show(report)
+    t = {(d, b, m): time for d, b, m, time in report.rows}
+    # near-linear in message size: 60 KB costs ~15x the 4 KB run
+    for d in (2, 4, 6):
+        ratio = t[(d, 1024, 61440)] / t[(d, 1024, 4096)]
+        assert 10 < ratio < 20, ratio
+    # sub-1KB external packets pay more start-ups
+    for d in (2, 4, 6):
+        assert t[(d, 256, 61440)] > t[(d, 1024, 61440)]
+    # >= 1KB external packets change little (internal splitting dominates)
+    for d in (2, 4, 6):
+        assert abs(t[(d, 4096, 61440)] - t[(d, 1024, 61440)]) < 0.25 * t[(d, 1024, 61440)]
+    # SBT time scales ~ log N
+    assert 2.2 < t[(6, 1024, 61440)] / t[(2, 1024, 61440)] < 4.0

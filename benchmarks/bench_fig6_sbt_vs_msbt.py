@@ -1,0 +1,20 @@
+"""Figure 6 — broadcasting 60 KB (1 KB packets): SBT vs MSBT per dimension.
+
+Shape claims: the SBT's time grows roughly linearly with the cube
+dimension while the MSBT's stays nearly flat.
+"""
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_sbt_vs_msbt(benchmark, show):
+    report = benchmark(run_fig6, (2, 3, 4, 5, 6), 61440, 1024)
+    show(report)
+    rows = {d: (s, m) for d, s, m in report.rows}
+    # SBT grows ~ linearly in n
+    assert 2.5 < rows[6][0] / rows[2][0] < 3.5
+    # MSBT nearly flat: within 40% from d=2 to d=6
+    assert rows[6][1] < 1.4 * rows[2][1]
+    # MSBT never slower than SBT
+    for d, (s, m) in rows.items():
+        assert m <= s * 1.02, (d, s, m)

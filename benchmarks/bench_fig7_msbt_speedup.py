@@ -1,0 +1,20 @@
+"""Figure 7 — measured MSBT-over-SBT broadcast speed-up.
+
+The paper's claim: "the measured speed-up is approximately log N".
+Asserted as: speed-up within [0.6 log N, 1.3 log N] and monotone in N.
+"""
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_msbt_speedup(benchmark, show):
+    report = benchmark(run_fig7, (2, 3, 4, 5, 6), 61440, 1024)
+    show(report)
+    prev = 0.0
+    for n, speedup, logn in report.rows:
+        assert 0.6 * logn <= speedup <= 1.3 * logn, (n, speedup)
+        # grows with the cube dimension (small scheduling noise allowed)
+        assert speedup >= 0.95 * prev, (n, speedup, prev)
+        prev = speedup
+    first, last = report.rows[0][1], report.rows[-1][1]
+    assert last > 1.8 * first, "speed-up should roughly track log N"

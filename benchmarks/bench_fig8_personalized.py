@@ -1,0 +1,31 @@
+"""Figure 8 — personalized communication on the iPSC model: BST vs SBT.
+
+One-port-at-a-time hardware with ~20 % cross-port overlap.  Shape
+claims: both times grow ~ N; on the larger cubes the BST wins by close
+to the overlap fraction (§5.2: "full advantage of the 20 % overlap"),
+while on tiny cubes its extra drain hops dominate.
+"""
+
+from repro.experiments import run_fig8
+from repro.sim.machine import IPSC_D7
+
+
+def test_fig8_personalized(benchmark, show):
+    report = benchmark(run_fig8, (2, 3, 4, 5, 6), 1024, IPSC_D7)
+    show(report)
+    rows = {d: (s, b) for d, s, b, _ in report.rows}
+    # both ~ N: d=6 about 16x d=2
+    assert 10 < rows[6][0] / rows[2][0] < 32
+    # BST beats SBT on the larger cubes, approaching the 20% overlap gain
+    for d in (4, 5, 6):
+        assert rows[d][1] < rows[d][0], (d, rows[d])
+    assert rows[6][1] / rows[6][0] < 0.9
+
+
+def test_fig8_overlap_is_the_mechanism(benchmark, show):
+    """Without cross-port overlap the BST advantage disappears (§5.2)."""
+    with_overlap = benchmark(run_fig8, (5,), 1024, IPSC_D7)
+    without = run_fig8((5,), 1024, IPSC_D7.with_overlap(0.0))
+    ratio_with = float(with_overlap.rows[0][3])
+    ratio_without = float(without.rows[0][3])
+    assert ratio_with < ratio_without - 0.05, (ratio_with, ratio_without)

@@ -1,0 +1,33 @@
+"""§4.2's T(B) estimates vs simulation — the backbone of Table 6.
+
+Asserts the §4.3 comparison claims: SBT time falls monotonically with
+the packet size and lands on the (N-1)M t_c + log N tau optimum; the
+BST matches the SBT at B = M (both are (N-1)(tau + M t_c)) and is
+never more than a factor of two worse at any packet size.
+"""
+
+from repro.experiments import run_scatter_packet_sweep
+
+
+def test_scatter_packet_sweep(benchmark, show):
+    n, M = 5, 8
+    report = benchmark(run_scatter_packet_sweep, n, M)
+    show(report)
+    rows = {r[0]: r[1:] for r in report.rows}
+
+    # SBT monotone improvement with B; sim within 5% of the §4.2 form
+    sbt_times = [rows[b][0] for b in sorted(k for k in rows if isinstance(k, int))]
+    for a, b in zip(sbt_times, sbt_times[1:]):
+        assert b <= a + 1e-9
+    for b, (sbt_sim, sbt_model, _, _) in rows.items():
+        assert abs(sbt_sim - sbt_model) <= 0.05 * sbt_model + 2, b
+
+    # at B = M the SBT and BST coincide: (N-1)(tau + M t_c) (§4.3)
+    sbt_at_m, _, bst_at_m, _ = rows[M]
+    expected = ((1 << n) - 1) * (1 + M)
+    assert sbt_at_m == expected
+    assert abs(bst_at_m - expected) <= 0.05 * expected
+
+    # BST never worse than 2x the SBT at any packet size (§4.3)
+    for b, (sbt_sim, _, bst_sim, _) in rows.items():
+        assert bst_sim <= 2 * sbt_sim, b

@@ -1,0 +1,14 @@
+"""Table 1 — propagation delays of HP/SBT/TCBT/MSBT under all port models.
+
+Regenerates every cell by running the real schedules and asserts exact
+agreement with the paper's formulas.
+"""
+
+from repro.experiments import run_table1
+
+
+def test_table1_propagation_delays(benchmark, show):
+    report = benchmark(run_table1, 4)
+    show(report)
+    for algo, pm, measured, paper in report.rows:
+        assert measured == paper, f"{algo} {pm}: measured {measured} != paper {paper}"

@@ -1,0 +1,16 @@
+"""Table 2 — steady-state routing cycles per distinct broadcast packet.
+
+Measured as the marginal cycles of doubling the packet count, which
+cancels pipeline-fill constants; asserts exact agreement.
+"""
+
+from repro.experiments import run_table2
+
+
+def test_table2_cycles_per_packet(benchmark, show):
+    report = benchmark(run_table2, 4, 48)
+    show(report)
+    for algo, pm, measured, paper in report.rows:
+        assert abs(float(measured) - float(paper)) < 1e-3, (
+            f"{algo} {pm}: measured {measured} != paper {paper}"
+        )

@@ -1,0 +1,17 @@
+"""Shared fixtures for the table/figure reproduction benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report_and_print(report) -> None:
+    """Print a reproduction table under pytest -s / benchmark output."""
+    print()
+    print(report.render())
+
+
+@pytest.fixture
+def show():
+    """Fixture exposing the report printer."""
+    return report_and_print

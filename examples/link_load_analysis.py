@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Link-load anatomy: why the BST exists.
+
+Profiles the source's per-port traffic for broadcasting (SBT vs MSBT)
+and personalized communication (SBT vs BST) on a 5-cube, rendering
+ASCII bar charts of the imbalance the paper's §4 is about.
+
+Run:  python examples/link_load_analysis.py
+"""
+
+from repro import Hypercube, PortModel
+from repro.routing import (
+    bst_scatter_schedule,
+    msbt_broadcast_schedule,
+    sbt_broadcast_schedule,
+    sbt_scatter_schedule,
+)
+from repro.sim.validate import profile_schedule
+
+N_DIM = 5
+M_BCAST = 320      # broadcast message
+M_SCATTER = 8      # per-destination message
+
+
+def bars(port_elems: dict[int, int], width: int = 40) -> str:
+    worst = max(port_elems.values())
+    lines = []
+    for port in sorted(port_elems):
+        v = port_elems[port]
+        lines.append(
+            f"    port {port}: {'#' * max(1, round(width * v / worst)):<{width}} {v}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    cube = Hypercube(N_DIM)
+    big = cube.num_nodes * M_SCATTER
+
+    print(f"=== broadcasting {M_BCAST} elements on {cube} ===\n")
+    for name, sched in (
+        ("SBT (whole message down every port)",
+         sbt_broadcast_schedule(cube, 0, M_BCAST, 32, PortModel.ONE_PORT_FULL)),
+        ("MSBT (message split over the n edge-disjoint trees)",
+         msbt_broadcast_schedule(cube, 0, M_BCAST, 32, PortModel.ONE_PORT_FULL)),
+    ):
+        p = profile_schedule(cube, sched, source=0)
+        print(f"{name}:")
+        print(bars(p.source_port_elems))
+        print(f"    skew {p.balance_ratio():.2f}x, "
+              f"edge utilization {p.edge_utilization:.0%}\n")
+
+    print(f"=== personalized ({M_SCATTER} elements per destination) ===\n")
+    for name, sched in (
+        ("SBT (half the cube hangs off port 0)",
+         sbt_scatter_schedule(cube, 0, M_SCATTER, big, PortModel.ONE_PORT_FULL)),
+        ("BST (subtrees of ~N/log N nodes)",
+         bst_scatter_schedule(cube, 0, M_SCATTER, big, PortModel.ONE_PORT_FULL)),
+    ):
+        p = profile_schedule(cube, sched, source=0)
+        print(f"{name}:")
+        print(bars(p.source_port_elems))
+        print(f"    skew {p.balance_ratio():.2f}x\n")
+
+    print("The BST flattens the scatter's port loads from 16x to ~1x —")
+    print("which is exactly the 1/2·log N speed-up of Table 6 when all")
+    print("ports can run concurrently.")
+
+
+if __name__ == "__main__":
+    main()

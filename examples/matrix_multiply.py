@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Parallel matrix multiplication driven by simulated broadcasts.
+
+The paper's introduction motivates broadcasting with matrix
+multiplication [Fox-Otto-Hey]: with the matrix distributed by block
+rows over the cube nodes, computing ``C = A @ B`` requires every node
+to see every block row of ``B`` — an all-to-all broadcast, or ``N``
+one-to-all broadcasts.
+
+This example actually computes the product: NumPy does each node's
+local arithmetic, while every data movement is carried by a simulated
+collective, whose communication cost is reported for the SBT vs MSBT
+routings.  The numerical result is checked against a sequential
+``A @ B``.
+
+Run:  python examples/matrix_multiply.py
+"""
+
+import numpy as np
+
+from repro import Hypercube, IPSC_D7, PortModel, broadcast
+
+N_DIM = 3          # 8 nodes
+BLOCK = 32         # block size per node -> 256 x 256 matrices
+
+
+def main() -> None:
+    cube = Hypercube(N_DIM)
+    p = cube.num_nodes
+    size = p * BLOCK
+    rng = np.random.default_rng(42)
+    A = rng.normal(size=(size, size))
+    B = rng.normal(size=(size, size))
+
+    # Block-row distribution: node i owns rows [i*BLOCK, (i+1)*BLOCK).
+    local_A = {i: A[i * BLOCK : (i + 1) * BLOCK] for i in cube.nodes()}
+    local_B = {i: B[i * BLOCK : (i + 1) * BLOCK] for i in cube.nodes()}
+
+    # Each step k: node k broadcasts its block row of B; every node
+    # accumulates local_A[:, k-block] @ B_k.
+    local_C = {i: np.zeros((BLOCK, size)) for i in cube.nodes()}
+    elems_per_bcast = BLOCK * size  # one element per matrix entry
+    total_cost = {"sbt": 0.0, "msbt": 0.0}
+
+    for k in cube.nodes():
+        for algo in ("sbt", "msbt"):
+            r = broadcast(
+                cube, source=k, algorithm=algo,
+                message_elems=elems_per_bcast, packet_elems=1024,
+                port_model=PortModel.ONE_PORT_FULL,
+                machine=IPSC_D7, run_event_sim=True,
+            )
+            total_cost[algo] += r.time
+        # the simulated broadcast delivered B_k everywhere; do the math
+        B_k = local_B[k]
+        for i in cube.nodes():
+            A_ik = local_A[i][:, k * BLOCK : (k + 1) * BLOCK]
+            local_C[i] += A_ik @ B_k
+
+    C = np.vstack([local_C[i] for i in cube.nodes()])
+    err = np.max(np.abs(C - A @ B))
+    print(f"{p} nodes, {size}x{size} matrices, block rows of {BLOCK}")
+    print(f"max |C - A@B| = {err:.2e}  (should be ~1e-12)")
+    assert err < 1e-9
+
+    print("\nsimulated communication time for the %d broadcasts:" % p)
+    for algo, t in total_cost.items():
+        print(f"  {algo.upper():<5} {t:.3f} s")
+    print(f"  MSBT speed-up: {total_cost['sbt'] / total_cost['msbt']:.2f}x "
+          f"(log N = {N_DIM})")
+
+
+if __name__ == "__main__":
+    main()

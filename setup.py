@@ -1,0 +1,17 @@
+"""Legacy setup shim so `pip install -e .` works without the wheel package.
+
+All project metadata lives in pyproject.toml; this file only exists so
+that offline environments (no PEP-517 build isolation, no `wheel`)
+can still do an editable install via `setup.py develop`.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

@@ -1,0 +1,11 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from repro.cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:  # e.g. `python -m repro table 2 | head`
+    sys.stderr.close()
+    sys.exit(0)

@@ -1,0 +1,69 @@
+"""Closed-form complexity models and comparisons (Tables 1-4 and 6)."""
+
+from repro.analysis.bounds import (
+    broadcast_step_lower_bound,
+    broadcast_time_lower_bound,
+    personalized_time_lower_bound,
+    source_traffic_personalized,
+)
+from repro.analysis.compare import (
+    TABLE4_REGIMES,
+    TABLE4_ROWS,
+    cycles_per_packet_table,
+    propagation_delay_table,
+    table4_paper_entry,
+    table4_ratio,
+)
+from repro.analysis.models import (
+    BROADCAST_ALGOS,
+    SCATTER_ALGOS,
+    BroadcastModel,
+    broadcast_model,
+    broadcast_time,
+    cycles_per_packet,
+    personalized_time_one_port,
+    personalized_tmin,
+    propagation_delay,
+)
+from repro.analysis.optimal import numeric_b_opt
+from repro.analysis.symbolic import (
+    render_table3,
+    render_table6,
+    table3_formulas,
+    table6_formulas,
+)
+from repro.analysis.regimes import (
+    crossover_message_size,
+    fastest_algorithm,
+    optimal_times,
+)
+
+__all__ = [
+    "broadcast_step_lower_bound",
+    "broadcast_time_lower_bound",
+    "personalized_time_lower_bound",
+    "source_traffic_personalized",
+    "TABLE4_REGIMES",
+    "TABLE4_ROWS",
+    "cycles_per_packet_table",
+    "propagation_delay_table",
+    "table4_paper_entry",
+    "table4_ratio",
+    "BROADCAST_ALGOS",
+    "SCATTER_ALGOS",
+    "BroadcastModel",
+    "broadcast_model",
+    "broadcast_time",
+    "cycles_per_packet",
+    "personalized_time_one_port",
+    "personalized_tmin",
+    "propagation_delay",
+    "numeric_b_opt",
+    "crossover_message_size",
+    "fastest_algorithm",
+    "optimal_times",
+    "render_table3",
+    "render_table6",
+    "table3_formulas",
+    "table6_formulas",
+]

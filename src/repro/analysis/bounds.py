@@ -1,0 +1,73 @@
+"""Lower bounds from §1 and §3 of the paper.
+
+These are what the MSBT and BST constructions are measured against:
+
+* broadcasting one packet needs ``log N`` steps (doubling argument);
+* broadcasting ``M`` elements with packets of ``B`` needs
+  ``ceil(M / (B log N)) + log N`` steps when all ports work
+  concurrently (the source's fan-out is ``log N``);
+* one-to-all personalized communication needs the source to push
+  ``(N-1) * M`` elements, so at least ``(N-1) / log N * M * t_c``
+  transfer time with all ports, plus ``log N`` start-ups.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.sim.ports import PortModel
+
+__all__ = [
+    "broadcast_step_lower_bound",
+    "broadcast_time_lower_bound",
+    "personalized_time_lower_bound",
+    "source_traffic_personalized",
+]
+
+
+def broadcast_step_lower_bound(
+    M: int, B: int, n: int, port_model: PortModel
+) -> int:
+    """Minimum routing steps to broadcast ``M`` elements with packets ``B``."""
+    packets = ceil(M / B)
+    if port_model is PortModel.ALL_PORT:
+        return ceil(packets / n) + n if packets > 1 else n
+    if port_model is PortModel.ONE_PORT_FULL:
+        # one new distinct packet can leave the source per step; log N
+        # steps to reach the farthest node.
+        return packets + n if packets > 1 else n
+    return 2 * packets + n - 1 if packets > 1 else n
+
+
+def broadcast_time_lower_bound(
+    M: int, n: int, tau: float, t_c: float, port_model: PortModel
+) -> float:
+    """Time lower bound with the packet size chosen optimally."""
+    from math import sqrt
+
+    if port_model is PortModel.ALL_PORT:
+        return (sqrt(M * t_c / n) + sqrt(tau * n)) ** 2
+    if port_model is PortModel.ONE_PORT_FULL:
+        return (sqrt(M * t_c) + sqrt(tau * n)) ** 2
+    return (sqrt(2 * M * t_c) + sqrt(tau * max(n - 1, 1))) ** 2
+
+
+def source_traffic_personalized(n: int, M: int) -> int:
+    """Elements the source must emit in one-to-all personalized routing."""
+    return ((1 << n) - 1) * M
+
+
+def personalized_time_lower_bound(
+    n: int, M: int, tau: float, t_c: float, port_model: PortModel
+) -> float:
+    """Time lower bound for one-to-all personalized communication.
+
+    All-port: the source's ``(N-1) * M`` elements leave over ``log N``
+    ports, so ``(N-1)/log N * M * t_c`` transfer plus ``log N``
+    start-ups.  One-port: everything serializes through one port at a
+    time at the source.
+    """
+    N = 1 << n
+    if port_model is PortModel.ALL_PORT:
+        return (N - 1) / n * M * t_c + n * tau
+    return (N - 1) * M * t_c + n * tau

@@ -1,0 +1,294 @@
+"""Closed-form communication-complexity models (Tables 1, 2, 3 and 6).
+
+All formulas are transcribed from the paper with its notation:
+``N = 2**n`` nodes, ``M`` elements per (destination) message, ``B``
+maximum packet size, ``tau`` start-up time, ``t_c`` per-element
+transfer time, and ``log N`` always base 2.
+
+Broadcast models give the routing-step count ``steps(M, B)``, the
+resulting time ``steps * (tau + B * t_c)``, the optimal packet size and
+the optimal time (Table 3).  Personalized-communication models give the
+optimal-packet-size times of Table 6 plus the ``T(B)`` forms of §4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2, sqrt
+from typing import Callable
+
+from repro.sim.ports import PortModel
+
+__all__ = [
+    "BroadcastModel",
+    "broadcast_model",
+    "broadcast_time",
+    "propagation_delay",
+    "cycles_per_packet",
+    "personalized_tmin",
+    "personalized_time_one_port",
+    "BROADCAST_ALGOS",
+    "SCATTER_ALGOS",
+]
+
+BROADCAST_ALGOS = ("hp", "sbt", "tcbt", "msbt")
+SCATTER_ALGOS = ("sbt", "tcbt", "bst")
+
+
+@dataclass(frozen=True)
+class BroadcastModel:
+    """One row of Table 3.
+
+    Attributes:
+        algorithm: ``"hp" | "sbt" | "tcbt" | "msbt"``.
+        port_model: the communication capability assumed.
+        steps: routing-step count as a function of ``(M, B, n)``.
+        b_opt: optimal packet size as a function of ``(M, n, tau, t_c)``.
+        t_min: optimal time as a function of ``(M, n, tau, t_c)``.
+    """
+
+    algorithm: str
+    port_model: PortModel
+    steps: Callable[[int, int, int], float]
+    b_opt: Callable[[float, int, float, float], float]
+    t_min: Callable[[float, int, float, float], float]
+
+    def time(self, M: int, B: int, n: int, tau: float, t_c: float) -> float:
+        """``T = steps(M, B) * (tau + B * t_c)`` (the Table 3 ``T`` column)."""
+        return self.steps(M, B, n) * (tau + B * t_c)
+
+
+def _sq(a: float, b: float) -> float:
+    return (sqrt(a) + sqrt(b)) ** 2
+
+
+_BROADCAST_TABLE: dict[tuple[str, PortModel], BroadcastModel] = {}
+
+
+def _register(
+    algorithm: str,
+    port_model: PortModel,
+    steps: Callable[[int, int, int], float],
+    b_opt: Callable[[float, int, float, float], float],
+    t_min: Callable[[float, int, float, float], float],
+) -> None:
+    _BROADCAST_TABLE[(algorithm, port_model)] = BroadcastModel(
+        algorithm, port_model, steps, b_opt, t_min
+    )
+
+
+# --- HP (Hamiltonian path) ---------------------------------------------------
+_register(
+    "hp",
+    PortModel.ONE_PORT_HALF,
+    steps=lambda M, B, n: 2 * ceil(M / B) + (1 << n) - 3,
+    b_opt=lambda M, n, tau, tc: sqrt(2 * M * tau / (((1 << n) - 3) * tc)),
+    t_min=lambda M, n, tau, tc: _sq(2 * M * tc, ((1 << n) - 3) * tau),
+)
+_register(
+    "hp",
+    PortModel.ONE_PORT_FULL,
+    steps=lambda M, B, n: ceil(M / B) + (1 << n) - 3,
+    b_opt=lambda M, n, tau, tc: sqrt(M * tau / (((1 << n) - 3) * tc)),
+    t_min=lambda M, n, tau, tc: _sq(M * tc, ((1 << n) - 3) * tau),
+)
+# the paper gives no separate HP all-port row (pipelining already uses
+# one port); reuse the full-duplex model.
+_register(
+    "hp",
+    PortModel.ALL_PORT,
+    steps=lambda M, B, n: ceil(M / B) + (1 << n) - 3,
+    b_opt=lambda M, n, tau, tc: sqrt(M * tau / (((1 << n) - 3) * tc)),
+    t_min=lambda M, n, tau, tc: _sq(M * tc, ((1 << n) - 3) * tau),
+)
+
+# --- SBT ----------------------------------------------------------------------
+for _pm in (PortModel.ONE_PORT_HALF, PortModel.ONE_PORT_FULL):
+    _register(
+        "sbt",
+        _pm,
+        steps=lambda M, B, n: ceil(M / B) * n,
+        b_opt=lambda M, n, tau, tc: float(M),
+        t_min=lambda M, n, tau, tc: n * (M * tc + tau),
+    )
+_register(
+    "sbt",
+    PortModel.ALL_PORT,
+    steps=lambda M, B, n: ceil(M / B) + n - 1,
+    b_opt=lambda M, n, tau, tc: sqrt(M * tau / (max(n - 1, 1) * tc)),
+    t_min=lambda M, n, tau, tc: _sq(M * tc, tau * max(n - 1, 1)),
+)
+
+# --- TCBT ----------------------------------------------------------------------
+_register(
+    "tcbt",
+    PortModel.ONE_PORT_HALF,
+    steps=lambda M, B, n: 3 * ceil(M / B) + 2 * n - 5,
+    b_opt=lambda M, n, tau, tc: sqrt(3 * M * tau / (max(2 * n - 5, 1) * tc)),
+    t_min=lambda M, n, tau, tc: _sq(3 * M * tc, tau * max(2 * n - 5, 1)),
+)
+_register(
+    "tcbt",
+    PortModel.ONE_PORT_FULL,
+    steps=lambda M, B, n: 2 * (ceil(M / B) + n - 2),
+    b_opt=lambda M, n, tau, tc: sqrt(M * tau / (max(n - 2, 1) * tc)),
+    t_min=lambda M, n, tau, tc: 2 * _sq(M * tc, tau * max(n - 2, 1)),
+)
+_register(
+    "tcbt",
+    PortModel.ALL_PORT,
+    steps=lambda M, B, n: ceil(M / B) + n - 1,
+    b_opt=lambda M, n, tau, tc: sqrt(M * tau / (max(n - 1, 1) * tc)),
+    t_min=lambda M, n, tau, tc: _sq(M * tc, tau * max(n - 1, 1)),
+)
+
+# --- MSBT ----------------------------------------------------------------------
+_register(
+    "msbt",
+    PortModel.ONE_PORT_HALF,
+    steps=lambda M, B, n: 2 * ceil(M / B) + n - 1,
+    b_opt=lambda M, n, tau, tc: sqrt(2 * M * tau / (max(n - 1, 1) * tc)),
+    t_min=lambda M, n, tau, tc: _sq(2 * M * tc, tau * max(n - 1, 1)),
+)
+_register(
+    "msbt",
+    PortModel.ONE_PORT_FULL,
+    steps=lambda M, B, n: ceil(M / B) + n,
+    b_opt=lambda M, n, tau, tc: sqrt(M * tau / (n * tc)),
+    t_min=lambda M, n, tau, tc: _sq(M * tc, tau * n),
+)
+_register(
+    "msbt",
+    PortModel.ALL_PORT,
+    steps=lambda M, B, n: ceil(M / (B * n)) + n,
+    b_opt=lambda M, n, tau, tc: sqrt(M * tau / tc) / n,
+    t_min=lambda M, n, tau, tc: _sq(M * tc / n, tau * n),
+)
+
+
+def broadcast_model(algorithm: str, port_model: PortModel) -> BroadcastModel:
+    """Look up one row of Table 3."""
+    try:
+        return _BROADCAST_TABLE[(algorithm, port_model)]
+    except KeyError:
+        raise ValueError(
+            f"no broadcast model for ({algorithm!r}, {port_model})"
+        ) from None
+
+
+def broadcast_time(
+    algorithm: str,
+    port_model: PortModel,
+    M: int,
+    B: int,
+    n: int,
+    tau: float,
+    t_c: float,
+) -> float:
+    """Convenience wrapper: Table 3's ``T`` for the given parameters."""
+    return broadcast_model(algorithm, port_model).time(M, B, n, tau, t_c)
+
+
+def propagation_delay(algorithm: str, port_model: PortModel, n: int) -> int:
+    """Table 1: routing steps to broadcast a single packet."""
+    N = 1 << n
+    table = {
+        "hp": {pm: N - 1 for pm in PortModel},
+        "sbt": {pm: n for pm in PortModel},
+        "tcbt": {
+            PortModel.ONE_PORT_HALF: 2 * n - 2,
+            PortModel.ONE_PORT_FULL: 2 * n - 2,
+            PortModel.ALL_PORT: n,
+        },
+        "msbt": {
+            PortModel.ONE_PORT_HALF: 3 * n - 1,
+            PortModel.ONE_PORT_FULL: 2 * n,
+            PortModel.ALL_PORT: n + 1,
+        },
+    }
+    try:
+        return table[algorithm][port_model]
+    except KeyError:
+        raise ValueError(f"no Table 1 entry for ({algorithm!r}, {port_model})") from None
+
+
+def cycles_per_packet(algorithm: str, port_model: PortModel, n: int) -> float:
+    """Table 2: steady-state routing steps per distinct packet."""
+    table = {
+        "hp": {
+            PortModel.ONE_PORT_HALF: 2.0,
+            PortModel.ONE_PORT_FULL: 1.0,
+            PortModel.ALL_PORT: 1.0,
+        },
+        "sbt": {
+            PortModel.ONE_PORT_HALF: float(n),
+            PortModel.ONE_PORT_FULL: float(n),
+            PortModel.ALL_PORT: 1.0,
+        },
+        "tcbt": {
+            PortModel.ONE_PORT_HALF: 3.0,
+            PortModel.ONE_PORT_FULL: 2.0,
+            PortModel.ALL_PORT: 1.0,
+        },
+        "msbt": {
+            PortModel.ONE_PORT_HALF: 2.0,
+            PortModel.ONE_PORT_FULL: 1.0,
+            PortModel.ALL_PORT: 1.0 / n,
+        },
+    }
+    try:
+        return table[algorithm][port_model]
+    except KeyError:
+        raise ValueError(f"no Table 2 entry for ({algorithm!r}, {port_model})") from None
+
+
+def personalized_tmin(
+    algorithm: str,
+    port_model: PortModel,
+    n: int,
+    M: int,
+    tau: float,
+    t_c: float,
+) -> float:
+    """Table 6: optimal-packet-size time of personalized communication.
+
+    The TCBT one-port and BST one-port rows are the paper's *upper
+    bounds* (its rows carry "<=").
+    """
+    N = 1 << n
+    one_port = port_model is not PortModel.ALL_PORT
+    if algorithm == "sbt":
+        if one_port:
+            return (N - 1) * M * t_c + n * tau
+        return N / 2 * M * t_c + n * tau
+    if algorithm == "tcbt":
+        if one_port:
+            return (2 * N - 2 * n - 1) * M * t_c + (2 * n - 2) * tau
+        return (0.75 * N - 1) * M * t_c + n * tau
+    if algorithm == "bst":
+        if one_port:
+            return N * (1 + 2 * log2(max(n, 2)) / n) * M * t_c + (2 * n - 2) * tau
+        return (N - 1) / n * M * t_c + n * tau
+    raise ValueError(f"no Table 6 entry for {algorithm!r}")
+
+
+def personalized_time_one_port(
+    algorithm: str,
+    n: int,
+    M: int,
+    B: int,
+    tau: float,
+    t_c: float,
+) -> float:
+    """§4.2's one-port ``T(B)`` estimates for the SBT and BST scatters."""
+    N = 1 << n
+    if algorithm == "sbt":
+        if B <= M:
+            return (N * M / B - 1) * (B * t_c + tau)
+        B = min(B, N * M // 2)
+        return (N - 1) * M * t_c + tau * (N * M / B + max(ceil(log2(B / M)), 0))
+    if algorithm == "bst":
+        if B >= N * M / n:
+            return n * tau + (N - 1) * M * t_c
+        return ((N - 1) * M / B) * (tau + B * t_c)
+    raise ValueError(f"no one-port T(B) model for {algorithm!r}")

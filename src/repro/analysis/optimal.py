@@ -1,0 +1,37 @@
+"""Numeric packet-size optimization.
+
+The ``B_opt`` columns of Table 3 minimize the continuous relaxation of
+``T(B) = (M/B + c1) * (tau + B * t_c)``.  This module cross-checks those
+closed forms by brute-force minimization over integer packet sizes —
+used by the Table 3 benchmark and handy for users tuning a real sweep.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.models import BroadcastModel
+
+__all__ = ["numeric_b_opt"]
+
+
+def numeric_b_opt(
+    model: BroadcastModel,
+    M: int,
+    n: int,
+    tau: float,
+    t_c: float,
+    b_max: int | None = None,
+) -> tuple[int, float]:
+    """Best integer packet size and its time for a Table 3 model.
+
+    Scans ``B`` in ``1 .. b_max`` (default ``M``); the closed-form
+    ``B_opt`` should land within the discretization error of this scan.
+    """
+    if M < 1:
+        raise ValueError(f"message size must be >= 1, got {M}")
+    b_max = b_max or M
+    best_b, best_t = 1, float("inf")
+    for B in range(1, b_max + 1):
+        t = model.time(M, B, n, tau, t_c)
+        if t < best_t:
+            best_b, best_t = B, t
+    return best_b, best_t

@@ -1,0 +1,83 @@
+"""Regime and crossover analysis between broadcast algorithms.
+
+§3.4 observes: "Interestingly, broadcasting through a Hamiltonian Path
+on a hypercube may be faster than broadcasting based on the SBT or even
+the TCBT, depending on the values of M, t_c, tau and N."  The HP pays a
+huge propagation delay (``N - 3`` start-up terms) but only one cycle
+per packet in steady state, while the SBT pays ``log N`` cycles per
+packet — so for big messages on start-up-cheap machines the path wins.
+
+This module locates such crossovers numerically from the Table 3
+models, so the claim is testable rather than anecdotal.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.models import broadcast_model
+from repro.sim.ports import PortModel
+
+__all__ = ["optimal_times", "fastest_algorithm", "crossover_message_size"]
+
+
+def optimal_times(
+    n: int,
+    M: int,
+    tau: float,
+    t_c: float,
+    port_model: PortModel,
+    algorithms: tuple[str, ...] = ("hp", "sbt", "tcbt", "msbt"),
+) -> dict[str, float]:
+    """Optimal-packet-size broadcast time of each algorithm (Table 3 T_min)."""
+    return {
+        algo: broadcast_model(algo, port_model).t_min(M, n, tau, t_c)
+        for algo in algorithms
+    }
+
+
+def fastest_algorithm(
+    n: int,
+    M: int,
+    tau: float,
+    t_c: float,
+    port_model: PortModel,
+    algorithms: tuple[str, ...] = ("hp", "sbt", "tcbt", "msbt"),
+) -> str:
+    """The algorithm with the least ``T_min`` for these parameters."""
+    times = optimal_times(n, M, tau, t_c, port_model, algorithms)
+    return min(times, key=times.__getitem__)
+
+
+def crossover_message_size(
+    algo_a: str,
+    algo_b: str,
+    n: int,
+    tau: float,
+    t_c: float,
+    port_model: PortModel,
+    m_max: int = 1 << 40,
+) -> int | None:
+    """Smallest ``M`` (bisection, within 1 %) where ``algo_a`` beats ``algo_b``.
+
+    Returns ``None`` when ``algo_a`` never wins below ``m_max``.
+    Assumes the advantage is monotone in ``M`` beyond the crossover —
+    true for the Table 3 forms, whose packet terms are linear in ``M``
+    with different constants.
+    """
+    a = broadcast_model(algo_a, port_model)
+    b = broadcast_model(algo_b, port_model)
+
+    def a_wins(M: int) -> bool:
+        return a.t_min(M, n, tau, t_c) < b.t_min(M, n, tau, t_c)
+
+    if a_wins(1):
+        return 1
+    if not a_wins(m_max):
+        return None
+    lo, hi = 1, m_max  # a loses at lo, wins at hi
+    while hi > lo * 1.01 and hi - lo > 1:
+        mid = (lo + hi) // 2
+        if a_wins(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi

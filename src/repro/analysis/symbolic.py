@@ -1,0 +1,122 @@
+"""The paper's formulas as text — for reports and documentation.
+
+Verbatim transcriptions of Table 3's ``T`` / ``B_opt`` / ``T_min``
+columns and Table 6's ``T_min`` column, keyed the same way as the
+numeric models, so generated reports can show the formula next to the
+measured number.
+"""
+
+from __future__ import annotations
+
+from repro.sim.ports import PortModel
+
+__all__ = ["table3_formulas", "table6_formulas", "render_table3", "render_table6"]
+
+_T3: dict[tuple[str, PortModel], tuple[str, str, str]] = {
+    ("hp", PortModel.ONE_PORT_HALF): (
+        "(2*ceil(M/B) + N - 3)(tau + B*tc)",
+        "sqrt(2*M*tau / ((N-3)*tc))",
+        "(sqrt(2*M*tc) + sqrt((N-3)*tau))^2",
+    ),
+    ("hp", PortModel.ONE_PORT_FULL): (
+        "(ceil(M/B) + N - 3)(tau + B*tc)",
+        "sqrt(M*tau / ((N-3)*tc))",
+        "(sqrt(M*tc) + sqrt((N-3)*tau))^2",
+    ),
+    ("sbt", PortModel.ONE_PORT_HALF): (
+        "ceil(M/B) * logN * (tau + B*tc)",
+        "M",
+        "logN * (M*tc + tau)",
+    ),
+    ("sbt", PortModel.ONE_PORT_FULL): (
+        "ceil(M/B) * logN * (tau + B*tc)",
+        "M",
+        "logN * (M*tc + tau)",
+    ),
+    ("sbt", PortModel.ALL_PORT): (
+        "(ceil(M/B) + logN - 1)(tau + B*tc)",
+        "sqrt(M*tau / ((logN-1)*tc))",
+        "(sqrt(M*tc) + sqrt(tau*(logN-1)))^2",
+    ),
+    ("tcbt", PortModel.ONE_PORT_HALF): (
+        "(3*ceil(M/B) + 2*logN - 5)(tau + B*tc)",
+        "sqrt(3*M*tau / ((2*logN-5)*tc))",
+        "(sqrt(3*M*tc) + sqrt(tau*(2*logN-5)))^2",
+    ),
+    ("tcbt", PortModel.ONE_PORT_FULL): (
+        "2*(ceil(M/B) + logN - 2)(tau + B*tc)",
+        "sqrt(M*tau / ((logN-2)*tc))",
+        "2*(sqrt(M*tc) + sqrt(tau*(logN-2)))^2",
+    ),
+    ("tcbt", PortModel.ALL_PORT): (
+        "(ceil(M/B) + logN - 1)(tau + B*tc)",
+        "sqrt(M*tau / (tc*(logN-1)))",
+        "(sqrt(M*tc) + sqrt(tau*(logN-1)))^2",
+    ),
+    ("msbt", PortModel.ONE_PORT_HALF): (
+        "(2*ceil(M/B) + logN - 1)(tau + B*tc)",
+        "sqrt(2*M*tau / (tc*(logN-1)))",
+        "(sqrt(2*M*tc) + sqrt(tau*(logN-1)))^2",
+    ),
+    ("msbt", PortModel.ONE_PORT_FULL): (
+        "(ceil(M/B) + logN)(tau + B*tc)",
+        "sqrt(M*tau / (tc*logN))",
+        "(sqrt(M*tc) + sqrt(tau*logN))^2",
+    ),
+    ("msbt", PortModel.ALL_PORT): (
+        "(ceil(M/(B*logN)) + logN)(tau + B*tc)",
+        "(1/logN)*sqrt(M*tau/tc)",
+        "(sqrt(M*tc/logN) + sqrt(tau*logN))^2",
+    ),
+}
+
+_T6: dict[tuple[str, PortModel], str] = {
+    ("sbt", PortModel.ONE_PORT_FULL): "(N-1)*M*tc + logN*tau",
+    ("sbt", PortModel.ALL_PORT): "N/2*M*tc + logN*tau",
+    ("tcbt", PortModel.ONE_PORT_FULL): "<= (2N - 2*logN - 1)*M*tc + (2*logN - 2)*tau",
+    ("tcbt", PortModel.ALL_PORT): "(3/4*N - 1)*M*tc + logN*tau",
+    ("bst", PortModel.ONE_PORT_FULL): "<= N*(1 + 2*log(logN)/logN)*M*tc + (2*logN - 2)*tau",
+    ("bst", PortModel.ALL_PORT): "~= (N-1)/logN*M*tc + logN*tau",
+}
+
+
+def table3_formulas(algorithm: str, port_model: PortModel) -> tuple[str, str, str]:
+    """The (T, B_opt, T_min) formula strings of one Table 3 row."""
+    key = (algorithm, port_model)
+    if key not in _T3:
+        raise ValueError(f"no Table 3 formulas for {key}")
+    return _T3[key]
+
+
+def table6_formulas(algorithm: str, port_model: PortModel) -> str:
+    """The T_min formula string of one Table 6 row."""
+    key = (algorithm, port_model)
+    if key not in _T6:
+        raise ValueError(f"no Table 6 formula for {key}")
+    return _T6[key]
+
+
+def render_table3() -> str:
+    """Table 3 as printed in the paper (formula text)."""
+    from repro.experiments.harness import format_table
+
+    rows = []
+    for (algo, pm), (t, b, tmin) in _T3.items():
+        rows.append([algo.upper(), pm.value, t, b, tmin])
+    return format_table(
+        ["algorithm", "ports", "T", "B_opt", "T_min"],
+        rows,
+        title="Table 3 (symbolic)",
+    )
+
+
+def render_table6() -> str:
+    """Table 6 as printed in the paper (formula text)."""
+    from repro.experiments.harness import format_table
+
+    rows = [
+        [algo.upper(), pm.value, f] for (algo, pm), f in _T6.items()
+    ]
+    return format_table(
+        ["algorithm", "ports", "T_min"], rows, title="Table 6 (symbolic)"
+    )

@@ -1,0 +1,98 @@
+"""Binary-reflected Gray codes.
+
+The paper's SBT scatter implementation transmits packets over ports "in
+an order corresponding to the transition sequence in a binary-reflected
+Gray code" (§5.2), so port 0 is used every other cycle, port 1 every
+fourth cycle, and so on.  A Gray-code enumeration of cube nodes is also
+a Hamiltonian path, which is the paper's HP broadcast baseline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.bits.ops import lowest_set_bit, mask
+
+__all__ = [
+    "gray_code",
+    "gray_decode",
+    "gray_sequence",
+    "gray_rank",
+    "transition_sequence",
+    "hamiltonian_path",
+]
+
+
+def gray_code(i: int) -> int:
+    """The ``i``-th binary-reflected Gray codeword ``G(i) = i ^ (i >> 1)``.
+
+    >>> [gray_code(i) for i in range(4)]
+    [0, 1, 3, 2]
+    """
+    if i < 0:
+        raise ValueError(f"Gray code index must be non-negative, got {i}")
+    return i ^ (i >> 1)
+
+
+def gray_decode(g: int) -> int:
+    """Inverse of :func:`gray_code`: the rank of codeword ``g``."""
+    if g < 0:
+        raise ValueError(f"Gray codeword must be non-negative, got {g}")
+    i = 0
+    while g:
+        i ^= g
+        g >>= 1
+    return i
+
+
+def gray_rank(g: int) -> int:
+    """Alias of :func:`gray_decode`, named for readability at call sites."""
+    return gray_decode(g)
+
+
+def gray_sequence(n: int) -> list[int]:
+    """All ``2**n`` Gray codewords in rank order.
+
+    Consecutive entries differ in exactly one bit, and so do the first
+    and last entries (the code is cyclic).
+    """
+    if n < 0:
+        raise ValueError(f"code width must be non-negative, got {n}")
+    return [gray_code(i) for i in range(1 << n)]
+
+
+def transition_sequence(n: int) -> list[int]:
+    """Bit positions flipped between consecutive Gray codewords.
+
+    Entry ``i`` is the dimension crossed when moving from ``G(i)`` to
+    ``G(i+1)``; it equals the index of the lowest set bit of ``i + 1``.
+    Position 0 appears every other step, position 1 every fourth step,
+    etc. — exactly the port usage pattern of the paper's SBT scatter.
+
+    >>> transition_sequence(3)
+    [0, 1, 0, 2, 0, 1, 0]
+    """
+    if n < 0:
+        raise ValueError(f"code width must be non-negative, got {n}")
+    return [lowest_set_bit(i + 1) for i in range((1 << n) - 1)]
+
+
+def hamiltonian_path(n: int, start: int = 0) -> list[int]:
+    """A Hamiltonian path of the ``n``-cube starting at ``start``.
+
+    The path is the Gray-code enumeration translated (XOR) so that it
+    begins at ``start``.  Every consecutive pair is a cube edge and each
+    node appears exactly once.
+    """
+    if n < 0:
+        raise ValueError(f"cube dimension must be non-negative, got {n}")
+    if start < 0 or start & ~mask(n):
+        raise ValueError(f"start node {start} outside a {n}-cube")
+    return [g ^ start for g in gray_sequence(n)]
+
+
+def iter_hamiltonian_edges(n: int, start: int = 0) -> Iterator[tuple[int, int]]:
+    """Yield the directed edges of :func:`hamiltonian_path` in order."""
+    path = hamiltonian_path(n, start)
+    for a, b in zip(path, path[1:]):
+        yield a, b

@@ -1,0 +1,114 @@
+"""Command-line interface: run collectives and reproduce paper results.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro table 5                 # regenerate a paper table
+    python -m repro figure 7                # regenerate a paper figure
+    python -m repro broadcast --dim 5 --algorithm msbt -M 960 -B 60
+    python -m repro scatter --dim 5 --algorithm bst -M 64 --ports all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.collectives.api import (
+    BROADCAST_ALGORITHMS,
+    SCATTER_ALGORITHMS,
+    broadcast,
+    scatter,
+)
+from repro.sim.machine import IPSC_D7, MachineParams
+from repro.sim.ports import PortModel
+from repro.sim.validate import profile_schedule
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["main", "build_parser"]
+
+_PORT_CHOICES = {
+    "half": PortModel.ONE_PORT_HALF,
+    "full": PortModel.ONE_PORT_FULL,
+    "all": PortModel.ALL_PORT,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hypercube broadcasting & personalized communication "
+        "(Ho & Johnsson, ICPP 1986 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t = sub.add_parser("table", help="regenerate one of the paper's tables")
+    t.add_argument("number", type=int, choices=range(1, 7))
+
+    f = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    f.add_argument("number", type=int, choices=range(5, 9))
+
+    for name, algos in (("broadcast", BROADCAST_ALGORITHMS), ("scatter", SCATTER_ALGORITHMS)):
+        c = sub.add_parser(name, help=f"simulate a {name} and report costs")
+        c.add_argument("--dim", "-n", type=int, default=5, help="cube dimension")
+        c.add_argument("--source", "-s", type=int, default=0)
+        c.add_argument("--algorithm", "-a", choices=algos, default=algos[0])
+        c.add_argument("-M", "--message", type=int, default=1024,
+                       help="message elements (per destination for scatter)")
+        c.add_argument("-B", "--packet", type=int, default=None,
+                       help="packet size in elements (default: M)")
+        c.add_argument("--ports", choices=sorted(_PORT_CHOICES), default="full",
+                       help="port model: half (1 s or r), full (1 s and r), all")
+        c.add_argument("--ipsc", action="store_true",
+                       help="use the iPSC/d7 machine model and the event engine")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table":
+        from repro import experiments
+
+        runner = getattr(experiments, f"run_table{args.number}")
+        print(runner().render())
+        return 0
+
+    if args.command == "figure":
+        from repro import experiments
+
+        runner = getattr(experiments, f"run_fig{args.number}")
+        print(runner().render())
+        return 0
+
+    cube = Hypercube(args.dim)
+    port_model = _PORT_CHOICES[args.ports]
+    machine: MachineParams | None = IPSC_D7 if args.ipsc else None
+    op = broadcast if args.command == "broadcast" else scatter
+    result = op(
+        cube,
+        args.source,
+        args.algorithm,
+        message_elems=args.message,
+        packet_elems=args.packet,
+        port_model=port_model,
+        machine=machine,
+        run_event_sim=args.ipsc,
+    )
+    profile = profile_schedule(cube, result.schedule, source=args.source)
+    print(f"{args.command} on {cube} via {result.algorithm}")
+    print(f"  port model        : {port_model.describe()}")
+    print(f"  routing steps     : {result.cycles}")
+    print(f"  simulated time    : {result.time:.6g}"
+          + (" s (iPSC/d7, event-driven)" if args.ipsc else " (lock-step units)"))
+    print(f"  packets sent      : {profile.transfers}")
+    print(f"  busiest edge      : {result.link_stats.max_edge_elems()} elements")
+    print(f"  edge utilization  : {profile.edge_utilization:.1%}")
+    print(f"  source port skew  : {profile.balance_ratio():.2f}x")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

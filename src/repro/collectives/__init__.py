@@ -1,0 +1,23 @@
+"""High-level simulated collective operations (the public API)."""
+
+from repro.collectives.api import (
+    allgather,
+    allreduce,
+    alltoall_personalized,
+    broadcast,
+    gather,
+    reduce,
+    scatter,
+)
+from repro.collectives.result import CollectiveResult
+
+__all__ = [
+    "allgather",
+    "allreduce",
+    "alltoall_personalized",
+    "broadcast",
+    "gather",
+    "reduce",
+    "scatter",
+    "CollectiveResult",
+]

@@ -1,0 +1,60 @@
+"""Result object returned by the high-level collective API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import AsyncResult
+from repro.sim.schedule import Schedule
+from repro.sim.synchronous import SyncResult
+from repro.sim.trace import LinkStats
+
+__all__ = ["CollectiveResult"]
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one simulated collective operation.
+
+    Attributes:
+        schedule: the generated routing schedule.
+        sync: synchronous (lock-step) execution result — cycle counts
+            and validation.
+        async_: asynchronous (event-driven) execution result — wall
+            clock under the machine model, or ``None`` when the caller
+            skipped the event simulation.
+    """
+
+    schedule: Schedule
+    sync: SyncResult
+    async_: AsyncResult | None = None
+
+    @property
+    def cycles(self) -> int:
+        """Routing steps used (the paper's cycle count)."""
+        return self.sync.cycles
+
+    @property
+    def time(self) -> float:
+        """Simulated completion time.
+
+        The event-driven time when available (it models start-up
+        overlap and hardware packetization), else the lock-step time.
+        """
+        return self.async_.time if self.async_ is not None else self.sync.time
+
+    @property
+    def link_stats(self) -> LinkStats:
+        """Per-edge traffic of the run."""
+        return self.sync.link_stats
+
+    @property
+    def algorithm(self) -> str:
+        """Generator label of the schedule."""
+        return self.schedule.algorithm
+
+    def __repr__(self) -> str:
+        return (
+            f"CollectiveResult({self.algorithm!r}, cycles={self.cycles}, "
+            f"time={self.time:.6g})"
+        )

@@ -1,0 +1,36 @@
+"""Experiment harness: one function per table/figure of the paper."""
+
+from repro.experiments.export import to_csv, to_json, write_report
+from repro.experiments.figures import run_fig5, run_fig6, run_fig7, run_fig8
+from repro.experiments.scatter_sweep import run_scatter_packet_sweep
+from repro.experiments.harness import TableReport, format_table, relative_error
+from repro.experiments.tables import (
+    PAPER_TABLE5,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+__all__ = [
+    "to_csv",
+    "to_json",
+    "write_report",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_scatter_packet_sweep",
+    "TableReport",
+    "format_table",
+    "relative_error",
+    "PAPER_TABLE5",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+]

@@ -1,0 +1,51 @@
+"""Export experiment reports to CSV / JSON for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.experiments.harness import TableReport
+
+__all__ = ["to_csv", "to_json", "write_report"]
+
+
+def to_csv(report: TableReport) -> str:
+    """Render a report as CSV text (header row + data rows)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(report.headers)
+    for row in report.rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def to_json(report: TableReport) -> str:
+    """Render a report as a JSON document with name/headers/rows."""
+    return json.dumps(
+        {
+            "name": report.name,
+            "headers": report.headers,
+            "rows": report.rows,
+        },
+        indent=2,
+        default=str,
+    )
+
+
+def write_report(report: TableReport, path: str | Path) -> Path:
+    """Write a report to ``path``; format chosen by suffix (.csv/.json).
+
+    Returns the written path.
+    """
+    path = Path(path)
+    if path.suffix == ".csv":
+        text = to_csv(report)
+    elif path.suffix == ".json":
+        text = to_json(report)
+    else:
+        raise ValueError(f"unsupported export format {path.suffix!r} (use .csv or .json)")
+    path.write_text(text)
+    return path

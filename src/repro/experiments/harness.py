@@ -1,0 +1,77 @@
+"""Shared utilities for the table/figure reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["TableReport", "format_table", "relative_error"]
+
+
+def relative_error(measured: float, predicted: float) -> float:
+    """``|measured - predicted| / max(|predicted|, 1)``."""
+    return abs(measured - predicted) / max(abs(predicted), 1.0)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table (what the benches print)."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+@dataclass
+class TableReport:
+    """Accumulates (paper, measured) pairs for one experiment.
+
+    Attributes:
+        name: experiment id, e.g. ``"table1"``.
+        headers: column names.
+        rows: the data rows.
+    """
+
+    name: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add(self, *row: object) -> None:
+        """Append one row."""
+        self.rows.append(list(row))
+
+    def render(self) -> str:
+        """Plain-text rendering."""
+        return format_table(self.headers, self.rows, title=self.name)
+
+    def max_relative_error(self, measured_col: int, predicted_col: int) -> float:
+        """Worst relative error between two numeric columns."""
+        worst = 0.0
+        for row in self.rows:
+            worst = max(
+                worst,
+                relative_error(float(row[measured_col]), float(row[predicted_col])),
+            )
+        return worst

@@ -1,0 +1,80 @@
+"""Routing schedule generators for the paper's collectives."""
+
+from repro.routing.alltoall import (
+    allgather_initial_holdings,
+    allgather_schedule,
+    alltoall_initial_holdings,
+    alltoall_bst_schedule,
+    alltoall_personalized_schedule,
+)
+from repro.routing.broadcast_hp_variants import dual_hp_broadcast_schedule
+from repro.routing.broadcast_msbt import msbt_broadcast_schedule
+from repro.routing.broadcast_sbt import sbt_broadcast_schedule
+from repro.routing.broadcast_tree import tree_broadcast_schedule
+from repro.routing.common import broadcast_chunks, scatter_chunks
+from repro.routing.permutation import (
+    permutation_initial_holdings,
+    permutation_schedule,
+)
+from repro.routing.reverse import (
+    gather_from_scatter,
+    reduce_combine_rule,
+    reduce_initial_holdings,
+    sbt_reduce_schedule,
+    tree_reduce_initial_holdings,
+    tree_reduce_schedule,
+)
+from repro.routing.scatter_bst import bst_scatter_schedule
+from repro.routing.scatter_common import wave_scatter_schedule
+from repro.routing.scatter_sbt import sbt_scatter_schedule
+from repro.routing.scatter_tree import tree_scatter_schedule
+from repro.routing.tables import (
+    BstRootTable,
+    breadth_first_level_table,
+    breadth_first_table_bits,
+    build_root_table,
+    depth_first_port_counts,
+    depth_first_table_bits,
+)
+from repro.routing.scheduler import (
+    greedy_partition,
+    list_schedule,
+    reschedule,
+    split_oversized,
+)
+
+__all__ = [
+    "allgather_initial_holdings",
+    "allgather_schedule",
+    "alltoall_initial_holdings",
+    "alltoall_bst_schedule",
+    "alltoall_personalized_schedule",
+    "dual_hp_broadcast_schedule",
+    "msbt_broadcast_schedule",
+    "sbt_broadcast_schedule",
+    "tree_broadcast_schedule",
+    "broadcast_chunks",
+    "permutation_initial_holdings",
+    "permutation_schedule",
+    "scatter_chunks",
+    "gather_from_scatter",
+    "reduce_combine_rule",
+    "reduce_initial_holdings",
+    "sbt_reduce_schedule",
+    "tree_reduce_initial_holdings",
+    "tree_reduce_schedule",
+    "bst_scatter_schedule",
+    "wave_scatter_schedule",
+    "sbt_scatter_schedule",
+    "tree_scatter_schedule",
+    "BstRootTable",
+    "breadth_first_level_table",
+    "breadth_first_table_bits",
+    "build_root_table",
+    "depth_first_port_counts",
+    "depth_first_table_bits",
+    "greedy_partition",
+    "list_schedule",
+    "reschedule",
+    "split_oversized",
+]

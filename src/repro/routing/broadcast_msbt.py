@@ -1,0 +1,137 @@
+"""MSBT-based broadcasting (§3.3.2).
+
+The message is cut into ``P = ceil(M/B)`` packets; packet ``p`` travels
+down ERSBT ``p mod n`` as batch ``p // n``.  Under one send *and* one
+receive per node, batch ``q`` of tree ``j`` crosses the edge labelled
+``f`` in round ``f + q*n`` — the labelling's three conditions make this
+collision-free, the first batch drains in ``2 log N`` rounds and the
+whole message in ``ceil(M/B) + log N`` rounds (the paper's strict lower
+bound for ``M/B > 1``).
+
+Under one send *or* one receive the full-duplex schedule is re-packed
+greedily (§3.3.2's two-cycles transformation), landing within the
+``2 ceil(M/B) + log N - 1`` bound.  Under the all-port model each tree
+pipelines its batches independently — the trees are edge-disjoint, so
+``n`` packets are injected per round and the run takes
+``ceil(M/(B log N)) + log N`` rounds.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.routing.common import BCAST, broadcast_chunks
+from repro.routing.scheduler import reschedule
+from repro.sim.ports import PortModel
+from repro.sim.schedule import Schedule, Transfer
+from repro.topology.hypercube import Hypercube
+from repro.trees.msbt import MSBTGraph
+
+__all__ = ["msbt_broadcast_schedule"]
+
+
+def msbt_broadcast_schedule(
+    cube: Hypercube,
+    source: int,
+    message_elems: int,
+    packet_elems: int,
+    port_model: PortModel,
+) -> Schedule:
+    """Broadcast ``message_elems`` from ``source`` over the MSBT graph.
+
+    Returns a constraint-valid schedule for the requested port model;
+    ``meta["predicted_rounds"]`` carries the paper's closed-form step
+    count (for ``ONE_PORT_HALF`` it is the paper's upper bound — the
+    greedy serialization may do one round better on tiny cases).
+    """
+    cube.check_node(source)
+    sizes = broadcast_chunks(message_elems, packet_elems)
+    n_packets = len(sizes)
+    n = cube.dimension
+    graph = MSBTGraph(cube, source)
+
+    if port_model is PortModel.ALL_PORT:
+        return _all_port(graph, sizes, n_packets)
+
+    full = _full_duplex(graph, sizes, n_packets)
+    if port_model is PortModel.ONE_PORT_FULL:
+        return full
+    # ONE_PORT_HALF: greedy two-cycle serialization of the labelled schedule.
+    half = reschedule(
+        cube, full, PortModel.ONE_PORT_HALF, {source: set(sizes)}
+    )
+    half.algorithm = "msbt-broadcast"
+    half.meta.update(
+        port_model=port_model.value,
+        predicted_rounds=2 * n_packets + n - 1,
+    )
+    return half
+
+
+def _full_duplex(graph: MSBTGraph, sizes: dict, n_packets: int) -> Schedule:
+    n = graph.n
+    cube = graph.cube
+    total_rounds = 0
+    placed: list[tuple[int, Transfer]] = []
+    for p in range(n_packets):
+        j = p % n
+        q = p // n
+        tree = graph.trees[j]
+        chunk = frozenset({(BCAST, p)})
+        for node in cube.nodes():
+            lab = tree.label(node)
+            if lab is None:
+                continue
+            parent = tree.parent(node)
+            assert parent is not None
+            r = lab + q * n
+            placed.append((r, Transfer(parent, node, chunk)))
+            total_rounds = max(total_rounds, r + 1)
+    rounds: list[list[Transfer]] = [[] for _ in range(total_rounds)]
+    for r, t in placed:
+        rounds[r].append(t)
+    return Schedule(
+        rounds=[tuple(r) for r in rounds],
+        chunk_sizes=sizes,
+        algorithm="msbt-broadcast",
+        meta={
+            "port_model": PortModel.ONE_PORT_FULL.value,
+            "source": graph.source,
+            "predicted_rounds": n_packets + n if n_packets > 1 else 2 * n,
+        },
+    )
+
+
+def _all_port(graph: MSBTGraph, sizes: dict, n_packets: int) -> Schedule:
+    n = graph.n
+    cube = graph.cube
+    # Tree j carries packets p ≡ j (mod n); batch q = p // n pipelines
+    # one round behind batch q - 1 within its (edge-disjoint) tree.
+    placed: list[tuple[int, Transfer]] = []
+    total_rounds = 0
+    levels = [graph.trees[j].levels for j in range(n)]
+    for p in range(n_packets):
+        j = p % n
+        q = p // n
+        tree = graph.trees[j]
+        chunk = frozenset({(BCAST, p)})
+        for node in cube.nodes():
+            parent = tree.parent(node)
+            if parent is None:
+                continue
+            r = levels[j][node] - 1 + q
+            placed.append((r, Transfer(parent, node, chunk)))
+            total_rounds = max(total_rounds, r + 1)
+    rounds: list[list[Transfer]] = [[] for _ in range(total_rounds)]
+    for r, t in placed:
+        rounds[r].append(t)
+    return Schedule(
+        rounds=[tuple(r) for r in rounds],
+        chunk_sizes=sizes,
+        algorithm="msbt-broadcast",
+        meta={
+            "port_model": PortModel.ALL_PORT.value,
+            "source": graph.source,
+            "predicted_rounds": ceil(n_packets / n) + n,
+        },
+    )

@@ -1,0 +1,209 @@
+"""Greedy list scheduling of logical transfers into rounds.
+
+Several of the paper's routings (BST scatter forwarding, half-duplex
+serializations, generic-tree pipelines) are most naturally expressed as
+an ordered list of *logical* transfers with causal dependencies implied
+by their payloads: a node can forward a chunk only after receiving it.
+This module packs such a list into lock-step rounds greedily, in list
+order, under the active port model — earliest-fit, one pass per round.
+
+List order is the priority: generators encode the paper's transmission
+orders (descending relative address, cyclic subtree round-robin,
+depth-first within subtree, ...) simply by ordering the transfer list.
+"""
+
+from __future__ import annotations
+
+from repro.sim.ports import PortModel
+from repro.sim.schedule import Chunk, Schedule, Transfer
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["list_schedule", "reschedule", "split_oversized", "greedy_partition"]
+
+
+def list_schedule(
+    cube: Hypercube,
+    transfers: list[Transfer],
+    chunk_sizes: dict[Chunk, int],
+    port_model: PortModel,
+    initial_holdings: dict[int, set[Chunk]],
+    algorithm: str = "list-scheduled",
+    meta: dict | None = None,
+) -> Schedule:
+    """Pack ``transfers`` (in priority order) into constraint-valid rounds.
+
+    A transfer is eligible in round ``r`` when the sender holds all its
+    chunks by the start of ``r`` (initially, or delivered in a round
+    before ``r``) and the round still has capacity for it under
+    ``port_model``.  Eligible transfers are taken greedily in list
+    order.
+
+    Raises:
+        RuntimeError: when no remaining transfer can ever become
+            eligible (a causally broken transfer list).
+    """
+    avail: dict[tuple[int, Chunk], int] = {}
+    for node, chunks in initial_holdings.items():
+        for c in chunks:
+            avail[(node, c)] = 0
+
+    remaining = list(range(len(transfers)))
+    rounds: list[tuple[Transfer, ...]] = []
+    r = 0
+    guard = 0
+    max_rounds = 4 * (len(transfers) + 1) + 16  # generous upper bound
+
+    while remaining:
+        send_busy: set[int] = set()
+        recv_busy: set[int] = set()
+        edge_busy: set[tuple[int, int]] = set()
+        this_round: list[Transfer] = []
+        next_remaining: list[int] = []
+        min_future = None
+
+        for idx in remaining:
+            t = transfers[idx]
+            ready = 0
+            blocked = False
+            for c in t.chunks:
+                a = avail.get((t.src, c))
+                if a is None:
+                    blocked = True
+                    break
+                ready = max(ready, a)
+            if blocked or ready > r:
+                if not blocked:
+                    min_future = ready if min_future is None else min(min_future, ready)
+                next_remaining.append(idx)
+                continue
+            if not _fits(port_model, t, send_busy, recv_busy, edge_busy):
+                next_remaining.append(idx)
+                continue
+            this_round.append(t)
+            send_busy.add(t.src)
+            recv_busy.add(t.dst)
+            edge_busy.add((t.src, t.dst))
+            for c in t.chunks:
+                key = (t.dst, c)
+                if key not in avail or avail[key] > r + 1:
+                    avail[key] = r + 1
+
+        if this_round:
+            rounds.append(tuple(this_round))
+            remaining = next_remaining
+            r += 1
+        elif min_future is not None and min_future > r:
+            r = min_future  # idle gap: nothing deliverable yet
+        else:
+            stuck = [transfers[i] for i in remaining[:4]]
+            raise RuntimeError(
+                f"list scheduling deadlocked with {len(remaining)} transfers "
+                f"left, e.g. {stuck}"
+            )
+        guard += 1
+        if guard > max_rounds:
+            raise RuntimeError("list scheduling failed to converge")
+
+    return Schedule(
+        rounds=rounds,
+        chunk_sizes=dict(chunk_sizes),
+        algorithm=algorithm,
+        meta=meta or {},
+    )
+
+
+def _fits(
+    port_model: PortModel,
+    t: Transfer,
+    send_busy: set[int],
+    recv_busy: set[int],
+    edge_busy: set[tuple[int, int]],
+) -> bool:
+    if (t.src, t.dst) in edge_busy:
+        return False
+    if port_model is PortModel.ALL_PORT:
+        return True
+    if t.src in send_busy or t.dst in recv_busy:
+        return False
+    if port_model.half_duplex and (t.src in recv_busy or t.dst in send_busy):
+        return False
+    return True
+
+
+def reschedule(
+    cube: Hypercube,
+    schedule: Schedule,
+    port_model: PortModel,
+    initial_holdings: dict[int, set[Chunk]],
+) -> Schedule:
+    """Re-pack an existing schedule under a (usually stricter) port model.
+
+    Used to derive the one-send-*or*-receive MSBT broadcast from the
+    full-duplex labelled schedule (§3.3.2's "transform each cycle into
+    two cycles" construction, realized greedily).
+    """
+    out = list_schedule(
+        cube,
+        schedule.all_transfers(),
+        schedule.chunk_sizes,
+        port_model,
+        initial_holdings,
+        algorithm=f"{schedule.algorithm}@{port_model.value}",
+        meta=dict(schedule.meta),
+    )
+    return out
+
+
+def split_oversized(schedule: Schedule, packet_elems: int) -> Schedule:
+    """Split transfers larger than ``packet_elems`` into micro-rounds.
+
+    A round whose largest transfer needs ``k`` packets becomes ``k``
+    consecutive micro-rounds; each oversized transfer's chunks are
+    distributed greedily over its micro-rounds so no packet exceeds
+    ``packet_elems`` (individual chunks bigger than the limit go out
+    alone — generators are expected to pre-split chunks when a hard
+    bound matters).
+    """
+    if packet_elems < 1:
+        raise ValueError(f"packet size must be >= 1, got {packet_elems}")
+    new_rounds: list[tuple[Transfer, ...]] = []
+    for round_transfers in schedule.rounds:
+        pieces: list[list[Transfer]] = []
+        for t in round_transfers:
+            groups = greedy_partition(
+                sorted(t.chunks, key=lambda c: (-schedule.chunk_sizes[c], repr(c))),
+                schedule.chunk_sizes,
+                packet_elems,
+            )
+            for micro, group in enumerate(groups):
+                while len(pieces) <= micro:
+                    pieces.append([])
+                pieces[micro].append(Transfer(t.src, t.dst, frozenset(group)))
+        new_rounds.extend(tuple(p) for p in pieces)
+    return Schedule(
+        rounds=new_rounds,
+        chunk_sizes=dict(schedule.chunk_sizes),
+        algorithm=schedule.algorithm,
+        meta={**schedule.meta, "split_packet_elems": packet_elems},
+    )
+
+
+def greedy_partition(
+    chunks: list[Chunk],
+    sizes: dict[Chunk, int],
+    limit: int,
+) -> list[list[Chunk]]:
+    """First-fit partition of ``chunks`` (in the given order) into
+    bins of at most ``limit`` elements each."""
+    bins: list[tuple[int, list[Chunk]]] = []
+    for c in chunks:
+        s = sizes[c]
+        placed = False
+        for i, (used, members) in enumerate(bins):
+            if used + s <= limit:
+                bins[i] = (used + s, members + [c])
+                placed = True
+                break
+        if not placed:
+            bins.append((s, [c]))
+    return [members for _, members in bins]

@@ -1,0 +1,169 @@
+"""Distributed routing tables for the BST scatter (§5.2).
+
+The paper's iPSC implementation does not ship destination addresses
+with every packet; nodes route from precomputed tables, and §5.2 counts
+their sizes:
+
+* **The root keeps one table** of length ``~ N / log N`` with
+  ``log N``-bit entries: the transmission order for port 0.  "The
+  pointers for the other ports are simply obtained by (right) cyclic
+  shifts of the table entries.  The cyclic nodes can be handled by
+  finding the period P for each cyclic table entry, and not
+  transmitting the message corresponding to this table entry for ports
+  with index j >= P."  This works because subtree ``j`` is exactly the
+  ``j``-step rotation of subtree 0 (minus the entries whose period is
+  ``<= j``), and the rotation commutes with the BST parent function.
+
+* **Internal nodes, depth-first order**: a count per used port
+  suffices; with at most ``log N / 2`` ports per subtree and
+  ``~ N / log N`` nodes per subtree, the table fits in about
+  ``log^2 N`` bits.
+
+* **Internal nodes, breadth-first order**: a per-level, per-child
+  count table of at most ``log^2 N`` entries, ``~ log^3 N`` bits —
+  "without a more sophisticated encoding the depth-first communication
+  order is more effective with respect to table space."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+from repro.bits.necklaces import period
+from repro.bits.ops import rotate_left
+from repro.trees.bst import BalancedSpanningTree
+
+__all__ = [
+    "BstRootTable",
+    "build_root_table",
+    "depth_first_port_counts",
+    "depth_first_table_bits",
+    "breadth_first_level_table",
+    "breadth_first_table_bits",
+]
+
+
+@dataclass(frozen=True)
+class BstRootTable:
+    """The root's single shared transmission table.
+
+    Attributes:
+        entries: relative addresses of subtree 0's nodes (all with
+            ``base == 0``) in canonical depth-first transmission order;
+            each entry is one ``log N``-bit word.
+        n: cube dimension.
+        source: the absolute root address (tables store *relative*
+            addresses; translation is free).
+    """
+
+    entries: tuple[int, ...]
+    n: int
+    source: int
+
+    def port_order(self, j: int) -> list[int]:
+        """Absolute destination order for port ``j``, derived by rotation.
+
+        Entry ``c`` is transmitted on port ``j`` as destination
+        ``source XOR rotate_left(c, j)`` — skipped when the entry's
+        rotation period is ``<= j`` (the §5.2 cyclic-node rule).
+        """
+        if not 0 <= j < self.n:
+            raise ValueError(f"port {j} outside 0..{self.n - 1}")
+        out = []
+        for c in self.entries:
+            if period(c, self.n) > j:
+                out.append(self.source ^ rotate_left(c, j, self.n))
+        return out
+
+    def size_bits(self) -> int:
+        """Table storage: one ``log N``-bit word per entry."""
+        return len(self.entries) * self.n
+
+
+def build_root_table(tree: BalancedSpanningTree) -> BstRootTable:
+    """Build the root's shared table from subtree 0.
+
+    The depth-first order uses a rotation-invariant child ordering
+    (children sorted by their canonical relative address), so that the
+    same table rotated serves every port.
+    """
+    n = tree.n
+    source = tree.root
+    members = set(tree.subtree_node_lists[0])
+    head = None
+    for child in tree.children_map[source]:
+        if child in members:
+            head = child
+            break
+    if head is None:
+        raise ValueError("subtree 0 is empty — degenerate cube")
+
+    order: list[int] = []
+    stack = [head]
+    while stack:
+        node = stack.pop()
+        order.append(node ^ source)
+        kids = sorted(
+            tree.children_map[node],
+            key=lambda v: v ^ source,
+            reverse=True,
+        )
+        stack.extend(kids)
+    return BstRootTable(entries=tuple(order), n=n, source=source)
+
+
+def depth_first_port_counts(
+    tree: BalancedSpanningTree, node: int
+) -> dict[int, int]:
+    """Per-port forwarding counts for an internal node (DF order).
+
+    Port ``p`` maps to the number of destination messages this node
+    forwards through ``p`` — the §5.2 "count for each port" table.
+    The root is excluded (it has the shared table instead).
+    """
+    if node == tree.root:
+        raise ValueError("the root uses the shared table, not port counts")
+    counts: dict[int, int] = {}
+    for child in tree.children_map[node]:
+        port = tree.cube.port_towards(node, child)
+        counts[port] = len(tree.subtree_of(child))
+    return counts
+
+
+def depth_first_table_bits(tree: BalancedSpanningTree, node: int) -> int:
+    """Storage for the DF table at ``node``: a count field per used port.
+
+    Each count needs ``ceil(log2(count + 1))`` bits; the paper's bound
+    is ``~ log^2 N`` bits per node.
+    """
+    counts = depth_first_port_counts(tree, node)
+    return sum(max(1, ceil(log2(c + 1))) for c in counts.values())
+
+
+def breadth_first_level_table(
+    tree: BalancedSpanningTree, node: int
+) -> dict[int, dict[int, int]]:
+    """Per-child, per-level node counts for the BF order (§5.2).
+
+    ``table[port][l]`` is the number of subtree nodes ``l`` tree-hops
+    below the child reached through ``port``.
+    """
+    if node == tree.root:
+        raise ValueError("the root uses the shared table, not level tables")
+    out: dict[int, dict[int, int]] = {}
+    for child in tree.children_map[node]:
+        port = tree.cube.port_towards(node, child)
+        counts = tree.descendant_counts_by_distance(child)
+        out[port] = {l: c for l, c in enumerate(counts)}
+    return out
+
+
+def breadth_first_table_bits(tree: BalancedSpanningTree, node: int) -> int:
+    """Storage for the BF table: a count field per (port, level) entry."""
+    table = breadth_first_level_table(tree, node)
+    return sum(
+        max(1, ceil(log2(c + 1)))
+        for per_level in table.values()
+        for c in per_level.values()
+    )

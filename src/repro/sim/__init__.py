@@ -1,0 +1,35 @@
+"""Packet-switched hypercube machine simulation.
+
+Two engines over one schedule representation:
+
+* :func:`repro.sim.run_synchronous` — lock-step cycles with port-model
+  validation (the paper's analytical step counts);
+* :func:`repro.sim.run_async` — event-driven timing with start-ups,
+  hardware packet splitting and cross-port overlap (the paper's iPSC
+  measurements).
+"""
+
+from repro.sim.engine import AsyncResult, run_async
+from repro.sim.machine import IPSC_D7, UNIT_COST, ZERO_STARTUP, MachineParams
+from repro.sim.ports import PortModel
+from repro.sim.schedule import Chunk, Schedule, Transfer, merge_schedules
+from repro.sim.synchronous import SyncResult, check_round_constraints, run_synchronous
+from repro.sim.trace import LinkStats
+
+__all__ = [
+    "AsyncResult",
+    "run_async",
+    "IPSC_D7",
+    "UNIT_COST",
+    "ZERO_STARTUP",
+    "MachineParams",
+    "PortModel",
+    "Chunk",
+    "Schedule",
+    "Transfer",
+    "merge_schedules",
+    "SyncResult",
+    "check_round_constraints",
+    "run_synchronous",
+    "LinkStats",
+]

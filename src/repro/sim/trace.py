@@ -1,0 +1,58 @@
+"""Per-link traffic statistics collected by both engines.
+
+Broadcasting loads links evenly only under the MSBT; the SBT pushes
+half of all scatter traffic over one root port.  These counters make
+that bandwidth story (the core of §4) measurable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.topology.hypercube import DirectedEdge
+
+__all__ = ["LinkStats"]
+
+
+@dataclass
+class LinkStats:
+    """Traffic accounting per directed edge.
+
+    Attributes:
+        elems: elements moved per directed edge.
+        packets: packets moved per directed edge.
+    """
+
+    elems: Counter = field(default_factory=Counter)
+    packets: Counter = field(default_factory=Counter)
+
+    def record(self, src: int, dst: int, n_elems: int) -> None:
+        """Account one packet of ``n_elems`` elements on edge ``src -> dst``."""
+        edge = DirectedEdge(src, dst)
+        self.elems[edge] += n_elems
+        self.packets[edge] += 1
+
+    def max_edge_elems(self) -> int:
+        """Heaviest directed-edge traffic, in elements (bandwidth bottleneck)."""
+        return max(self.elems.values(), default=0)
+
+    def max_edge_packets(self) -> int:
+        """Heaviest directed-edge traffic, in packets (start-up bottleneck)."""
+        return max(self.packets.values(), default=0)
+
+    def total_elems(self) -> int:
+        """Total element-hops moved."""
+        return sum(self.elems.values())
+
+    def port_elems(self, node: int) -> dict[int, int]:
+        """Outbound traffic of ``node`` per port (elements)."""
+        out: dict[int, int] = {}
+        for edge, n in self.elems.items():
+            if edge.src == node:
+                out[edge.dimension] = out.get(edge.dimension, 0) + n
+        return out
+
+    def busiest_edges(self, k: int = 5) -> list[tuple[DirectedEdge, int]]:
+        """The ``k`` most loaded directed edges by elements."""
+        return self.elems.most_common(k)

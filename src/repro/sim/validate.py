@@ -1,0 +1,171 @@
+"""Standalone schedule analysis and utilization reporting.
+
+Beyond the pass/fail checking the engines do, these helpers quantify
+*how well* a schedule uses the machine — the quantities the paper's
+arguments turn on: per-port traffic at the source (the scatter
+bottleneck story of §4), per-round link utilization (the MSBT's
+all-edges-busy property), and idle fractions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.sim.ports import PortModel
+from repro.sim.schedule import Schedule
+from repro.sim.synchronous import check_round_constraints
+from repro.topology.hypercube import Hypercube
+
+__all__ = [
+    "ScheduleProfile",
+    "profile_schedule",
+    "assert_schedule_valid",
+    "buffer_occupancy",
+    "peak_buffer_elems",
+]
+
+
+@dataclass
+class ScheduleProfile:
+    """Aggregate utilization metrics of one schedule.
+
+    Attributes:
+        rounds: number of non-empty rounds.
+        transfers: total packets.
+        max_concurrency: most transfers in any round.
+        mean_concurrency: average transfers per non-empty round.
+        edge_utilization: fraction of directed cube edges carrying at
+            least one packet over the whole run.
+        peak_round_edge_fraction: largest fraction of directed edges
+            busy in a single round (1.0 means some round used every
+            edge — the MSBT's signature).
+        source_port_elems: outbound elements per source port, when a
+            ``source`` is known from the schedule metadata.
+    """
+
+    rounds: int
+    transfers: int
+    max_concurrency: int
+    mean_concurrency: float
+    edge_utilization: float
+    peak_round_edge_fraction: float
+    source_port_elems: dict[int, int]
+
+    def balance_ratio(self) -> float:
+        """Max-over-min outbound elements across the source's ports.
+
+        1.0 is perfectly balanced (the BST/MSBT goal); the SBT scatter
+        shows ``~2**(n-1)`` here.
+        """
+        if not self.source_port_elems:
+            return 1.0
+        values = list(self.source_port_elems.values())
+        return max(values) / max(min(values), 1)
+
+
+def profile_schedule(
+    cube: Hypercube,
+    schedule: Schedule,
+    source: int | None = None,
+) -> ScheduleProfile:
+    """Compute a :class:`ScheduleProfile` for ``schedule``."""
+    non_empty = [r for r in schedule.rounds if r]
+    edges_seen: set[tuple[int, int]] = set()
+    peak_fraction = 0.0
+    port_elems: Counter[int] = Counter()
+    src = source if source is not None else schedule.meta.get("source")
+
+    for r in non_empty:
+        round_edges = {(t.src, t.dst) for t in r}
+        edges_seen |= round_edges
+        peak_fraction = max(
+            peak_fraction, len(round_edges) / cube.num_directed_edges
+        )
+        if src is not None:
+            for t in r:
+                if t.src == src:
+                    port_elems[cube.port_towards(t.src, t.dst)] += (
+                        schedule.transfer_elems(t)
+                    )
+
+    transfers = sum(len(r) for r in non_empty)
+    return ScheduleProfile(
+        rounds=len(non_empty),
+        transfers=transfers,
+        max_concurrency=max((len(r) for r in non_empty), default=0),
+        mean_concurrency=transfers / len(non_empty) if non_empty else 0.0,
+        edge_utilization=len(edges_seen) / cube.num_directed_edges,
+        peak_round_edge_fraction=peak_fraction,
+        source_port_elems=dict(port_elems),
+    )
+
+
+def buffer_occupancy(
+    schedule: Schedule,
+    node: int,
+    keep_own: bool = True,
+) -> list[int]:
+    """Transit-buffer occupancy of ``node`` per round, in elements.
+
+    A chunk occupies the node's buffer from the round after it arrives
+    until the round its *last* outgoing copy leaves (store-and-forward
+    semantics: forwarded data can be dropped once sent).  With
+    ``keep_own`` (default) chunks whose final consumer is this node
+    (scatter chunks ``("m", node, p)``) never leave the buffer, since
+    the application owns them.
+
+    Returns occupancy sampled *after* each round of the schedule.
+    """
+    arrive: dict = {}
+    last_send: dict = {}
+    for ri, r in enumerate(schedule.rounds):
+        for t in r:
+            if t.dst == node:
+                for c in t.chunks:
+                    if c not in arrive:
+                        arrive[c] = ri
+            if t.src == node:
+                for c in t.chunks:
+                    last_send[c] = max(last_send.get(c, -1), ri)
+
+    occupancy = []
+    held = 0
+    events_in: dict[int, list] = {}
+    events_out: dict[int, list] = {}
+    for c, ri in arrive.items():
+        events_in.setdefault(ri, []).append(c)
+    for c, ri in last_send.items():
+        if c in arrive:  # only transit data frees buffer space
+            is_own = isinstance(c, tuple) and len(c) >= 2 and c[1] == node
+            if not (keep_own and is_own):
+                events_out.setdefault(ri, []).append(c)
+    for ri in range(len(schedule.rounds)):
+        for c in events_in.get(ri, []):
+            held += schedule.chunk_sizes[c]
+        for c in events_out.get(ri, []):
+            held -= schedule.chunk_sizes[c]
+        occupancy.append(held)
+    return occupancy
+
+
+def peak_buffer_elems(schedule: Schedule, node: int) -> int:
+    """Worst-case transit-buffer need of ``node`` over the run."""
+    occ = buffer_occupancy(schedule, node)
+    return max(occ, default=0)
+
+
+def assert_schedule_valid(
+    cube: Hypercube,
+    schedule: Schedule,
+    port_model: PortModel,
+) -> None:
+    """Check every round against the port model (no execution).
+
+    Unlike :func:`repro.sim.synchronous.run_synchronous` this does not
+    need initial holdings and does not check causality — useful for
+    validating schedule *structure* in isolation.
+    """
+    for idx, r in enumerate(schedule.rounds):
+        if r:
+            check_round_constraints(cube, r, port_model, idx)

@@ -1,0 +1,45 @@
+"""Hypercube topology substrate: the cube graph, checks, embeddings."""
+
+from repro.topology.embedding import EmbeddingMetrics, evaluate_embedding
+from repro.topology.fault import (
+    fault_avoiding_spanning_tree,
+    max_tolerable_failures,
+    surviving_path,
+)
+from repro.topology.graph import (
+    bfs_levels,
+    check_spanning_tree,
+    edges_are_disjoint,
+    is_cube_edge,
+    tree_edges_from_parents,
+)
+from repro.topology.hypercube import DirectedEdge, Hypercube
+from repro.topology.permutation_routing import (
+    bit_reversal_permutation,
+    ecube_path,
+    link_congestion,
+    route_permutation,
+    transpose_permutation,
+    valiant_route_permutation,
+)
+
+__all__ = [
+    "DirectedEdge",
+    "Hypercube",
+    "EmbeddingMetrics",
+    "evaluate_embedding",
+    "bfs_levels",
+    "check_spanning_tree",
+    "edges_are_disjoint",
+    "is_cube_edge",
+    "tree_edges_from_parents",
+    "fault_avoiding_spanning_tree",
+    "max_tolerable_failures",
+    "surviving_path",
+    "bit_reversal_permutation",
+    "ecube_path",
+    "link_congestion",
+    "route_permutation",
+    "transpose_permutation",
+    "valiant_route_permutation",
+]

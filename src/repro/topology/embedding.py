@@ -1,0 +1,86 @@
+"""Graph-embedding quality metrics (dilation, congestion, load).
+
+The paper's baselines are *embedded* guest graphs: the two-rooted
+complete binary tree (TCBT) and the Hamiltonian path are guest trees
+embedded in the cube with dilation 1.  These metrics let tests assert
+that property and let users evaluate their own embeddings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["EmbeddingMetrics", "evaluate_embedding"]
+
+
+class EmbeddingMetrics:
+    """Summary metrics of a guest-graph embedding into a cube.
+
+    Attributes:
+        dilation: maximum cube distance an embedded guest edge spans.
+        congestion: maximum number of guest edges routed through any
+            single cube link (shortest-path routing, ascending order).
+        load: maximum number of guest nodes mapped to one cube node.
+        expansion: ratio of host nodes to guest nodes.
+    """
+
+    def __init__(self, dilation: int, congestion: int, load: int, expansion: float):
+        self.dilation = dilation
+        self.congestion = congestion
+        self.load = load
+        self.expansion = expansion
+
+    def __repr__(self) -> str:
+        return (
+            f"EmbeddingMetrics(dilation={self.dilation}, congestion={self.congestion}, "
+            f"load={self.load}, expansion={self.expansion:.3f})"
+        )
+
+
+def evaluate_embedding(
+    cube: Hypercube,
+    placement: Mapping[int, int],
+    guest_edges: Iterable[tuple[int, int]],
+) -> EmbeddingMetrics:
+    """Evaluate an embedding of a guest graph into ``cube``.
+
+    Args:
+        cube: the host hypercube.
+        placement: guest node -> cube node map.
+        guest_edges: guest edges as ``(u, v)`` pairs of guest node ids.
+
+    Returns:
+        An :class:`EmbeddingMetrics` with dilation, congestion (under
+        ascending e-cube shortest-path routing of each guest edge),
+        node load, and expansion.
+    """
+    if not placement:
+        raise ValueError("placement must map at least one guest node")
+    for g, h in placement.items():
+        cube.check_node(h)
+
+    load = Counter(placement.values())
+    link_use: Counter[tuple[int, int]] = Counter()
+    dilation = 0
+    n_edges = 0
+    for u, v in guest_edges:
+        n_edges += 1
+        if u not in placement or v not in placement:
+            raise ValueError(f"guest edge ({u}, {v}) references unplaced nodes")
+        a, b = placement[u], placement[v]
+        d = cube.distance(a, b)
+        dilation = max(dilation, d)
+        path = cube.shortest_path(a, b)
+        for x, y in zip(path, path[1:]):
+            link_use[(min(x, y), max(x, y))] += 1
+    congestion = max(link_use.values()) if link_use else 0
+    expansion = cube.num_nodes / len(placement)
+    return EmbeddingMetrics(
+        dilation=dilation,
+        congestion=congestion,
+        load=max(load.values()),
+        expansion=expansion,
+    )

@@ -1,0 +1,130 @@
+"""Fault-avoiding point-to-point routing via the ``n`` disjoint paths.
+
+§1 recalls that a Boolean cube has ``log N`` disjoint paths between any
+node pair (of length ``d`` or ``d + 2``).  The practical payoff is
+fault tolerance: up to ``log N - 1`` failed links (or bypassed nodes)
+between a pair still leave an intact path.  This helper picks the
+shortest surviving one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+
+from repro.topology.hypercube import Hypercube
+
+__all__ = [
+    "surviving_path",
+    "max_tolerable_failures",
+    "fault_avoiding_spanning_tree",
+]
+
+
+def _normalize_links(dead_links: Collection[tuple[int, int]]) -> set[tuple[int, int]]:
+    return {(min(a, b), max(a, b)) for a, b in dead_links}
+
+
+def surviving_path(
+    cube: Hypercube,
+    src: int,
+    dst: int,
+    dead_links: Collection[tuple[int, int]] = (),
+    dead_nodes: Collection[int] = (),
+) -> list[int] | None:
+    """The shortest of the ``n`` disjoint paths avoiding all failures.
+
+    Args:
+        cube: the host cube.
+        src: start node (must be alive).
+        dst: end node (must be alive).
+        dead_links: failed links as (a, b) pairs, direction-agnostic.
+        dead_nodes: failed intermediate nodes.
+
+    Returns:
+        The surviving path, or ``None`` when every one of the ``n``
+        disjoint paths is broken (which requires at least ``n``
+        failures touching this pair).
+    """
+    cube.check_node(src)
+    cube.check_node(dst)
+    if src == dst:
+        raise ValueError("src and dst must differ")
+    bad_links = _normalize_links(dead_links)
+    bad_nodes = set(dead_nodes)
+    if src in bad_nodes or dst in bad_nodes:
+        raise ValueError("endpoints must be alive")
+
+    best: list[int] | None = None
+    for path in cube.disjoint_paths(src, dst):
+        if any(v in bad_nodes for v in path[1:-1]):
+            continue
+        if any(
+            (min(a, b), max(a, b)) in bad_links for a, b in zip(path, path[1:])
+        ):
+            continue
+        if best is None or len(path) < len(best):
+            best = path
+    return best
+
+
+def fault_avoiding_spanning_tree(
+    cube: Hypercube,
+    root: int,
+    dead_links: Collection[tuple[int, int]] = (),
+    dead_nodes: Collection[int] = (),
+) -> dict[int, int | None]:
+    """A BFS spanning tree of the surviving cube (parent map).
+
+    With fewer than ``log N`` failures the surviving cube is still
+    connected, so a spanning tree of the live nodes always exists; BFS
+    keeps it shallow (each live node is reached by a shortest surviving
+    path).  Use with the generic tree machinery to broadcast around
+    failures::
+
+        parents = fault_avoiding_spanning_tree(cube, 0, dead_links=[(0, 1)])
+
+    Returns:
+        Parent map over the live nodes (``None`` at the root).
+
+    Raises:
+        ValueError: when failures disconnect some live node from the
+            root (possible once ``len(failures) >= log N``).
+    """
+    from collections import deque
+
+    cube.check_node(root)
+    bad_links = _normalize_links(dead_links)
+    bad_nodes = set(dead_nodes)
+    if root in bad_nodes:
+        raise ValueError("the root must be alive")
+    parents: dict[int, int | None] = {root: None}
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for nxt in cube.neighbors(node):
+            if nxt in parents or nxt in bad_nodes:
+                continue
+            if (min(node, nxt), max(node, nxt)) in bad_links:
+                continue
+            parents[nxt] = node
+            queue.append(nxt)
+    live = cube.num_nodes - len(bad_nodes)
+    if len(parents) != live:
+        missing = sorted(
+            v for v in cube.nodes() if v not in parents and v not in bad_nodes
+        )
+        raise ValueError(
+            f"failures disconnect {len(missing)} live nodes from the root "
+            f"(e.g. {missing[:4]})"
+        )
+    return parents
+
+
+def max_tolerable_failures(cube: Hypercube) -> int:
+    """Failures any node pair provably survives: ``log N - 1``.
+
+    With the cube's connectivity equal to ``n``, any ``n - 1`` link or
+    node removals leave the graph connected — and specifically leave at
+    least one of the ``n`` disjoint paths between each pair intact.
+    """
+    return cube.dimension - 1

@@ -1,0 +1,116 @@
+"""Structural checks for spanning structures on the cube.
+
+These validators are used both by the test suite and by the routing
+layer's debug assertions: a routing schedule is only meaningful over a
+structure that really is a spanning tree (or, for the MSBT, a union of
+edge-disjoint spanning trees) of the cube.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Mapping
+
+from repro.topology.hypercube import DirectedEdge, Hypercube
+
+__all__ = [
+    "is_cube_edge",
+    "check_spanning_tree",
+    "edges_are_disjoint",
+    "tree_edges_from_parents",
+    "bfs_levels",
+]
+
+
+def is_cube_edge(cube: Hypercube, edge: DirectedEdge) -> bool:
+    """True when ``edge`` connects adjacent cube nodes."""
+    return (
+        cube.contains(edge.src)
+        and cube.contains(edge.dst)
+        and cube.are_adjacent(edge.src, edge.dst)
+    )
+
+
+def tree_edges_from_parents(parents: Mapping[int, int | None]) -> list[DirectedEdge]:
+    """Directed edges ``parent -> child`` of a tree given a parent map."""
+    return [
+        DirectedEdge(p, child)
+        for child, p in parents.items()
+        if p is not None
+    ]
+
+
+def check_spanning_tree(
+    cube: Hypercube,
+    root: int,
+    parents: Mapping[int, int | None],
+) -> None:
+    """Validate that ``parents`` describes a spanning tree of ``cube``.
+
+    Checks, raising ``ValueError`` with a precise message on failure:
+
+    * every cube node appears exactly once in ``parents``;
+    * exactly the root has a ``None`` parent;
+    * every (parent, child) pair is a cube edge;
+    * following parents from any node reaches the root (no cycles).
+    """
+    cube.check_node(root)
+    if set(parents) != set(cube.nodes()):
+        missing = set(cube.nodes()) - set(parents)
+        extra = set(parents) - set(cube.nodes())
+        raise ValueError(
+            f"parent map does not cover the cube exactly "
+            f"(missing={sorted(missing)[:8]}, extra={sorted(extra)[:8]})"
+        )
+    roots = [i for i, p in parents.items() if p is None]
+    if roots != [root]:
+        raise ValueError(f"expected unique root {root}, found parentless nodes {roots}")
+    for child, p in parents.items():
+        if p is None:
+            continue
+        if not cube.are_adjacent(child, p):
+            raise ValueError(f"tree edge {p} -> {child} is not a cube edge")
+    # Cycle/connectivity check: every node must reach the root within N hops.
+    depth_cache: dict[int, int] = {root: 0}
+    for start in cube.nodes():
+        trail = []
+        node = start
+        while node not in depth_cache:
+            trail.append(node)
+            parent = parents[node]
+            assert parent is not None  # roots are all in depth_cache
+            node = parent
+            if len(trail) > cube.num_nodes:
+                raise ValueError(f"cycle detected following parents from node {start}")
+        d = depth_cache[node]
+        for hop in reversed(trail):
+            d += 1
+            depth_cache[hop] = d
+
+
+def edges_are_disjoint(edge_sets: Iterable[Iterable[DirectedEdge]]) -> bool:
+    """True when no directed edge appears in more than one of the sets."""
+    seen: set[DirectedEdge] = set()
+    for edges in edge_sets:
+        for e in edges:
+            if e in seen:
+                return False
+            seen.add(e)
+    return True
+
+
+def bfs_levels(
+    root: int,
+    children: Mapping[int, Iterable[int]],
+) -> dict[int, int]:
+    """Level (depth) of every node reachable from ``root`` via ``children``."""
+    level = {root: 0}
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for c in children.get(node, ()):  # type: ignore[arg-type]
+            if c in level:
+                raise ValueError(f"node {c} reached twice during BFS — not a tree")
+            level[c] = level[node] + 1
+            queue.append(c)
+    return level

@@ -1,0 +1,124 @@
+"""Oblivious permutation routing on the cube: e-cube and Valiant.
+
+§1 cites Valiant's universal randomized routing for arbitrary
+permutations.  This module provides the two classic oblivious routers
+as substrate (and as a congestion baseline for the collective
+schedules):
+
+* **e-cube** (dimension-ordered) routing: correct the differing address
+  bits in ascending order.  Deterministic, minimal, but specific
+  permutations (e.g. the transpose permutation) concentrate
+  ``~sqrt(N)`` paths on single links.
+* **Valiant's two-phase scheme**: route to a uniformly random
+  intermediate node first, then to the destination — both phases
+  e-cube.  Congestion drops to near-uniform with high probability for
+  *every* permutation, at the price of doubling the traffic.
+
+Both are path generators plus congestion accounting; the store-and-
+forward delivery itself can be simulated by packing the hop transfers
+with :func:`repro.routing.scheduler.list_schedule`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from collections.abc import Mapping, Sequence
+
+from repro.topology.hypercube import Hypercube
+
+__all__ = [
+    "ecube_path",
+    "route_permutation",
+    "valiant_route_permutation",
+    "link_congestion",
+    "transpose_permutation",
+    "bit_reversal_permutation",
+]
+
+
+def ecube_path(cube: Hypercube, src: int, dst: int) -> list[int]:
+    """Dimension-ordered (ascending) minimal path ``src -> dst``."""
+    return cube.shortest_path(src, dst, dimension_order="ascending")
+
+
+def route_permutation(
+    cube: Hypercube,
+    permutation: Mapping[int, int] | Sequence[int],
+) -> dict[int, list[int]]:
+    """E-cube paths for a full permutation (source -> its path)."""
+    perm = _as_mapping(cube, permutation)
+    return {s: ecube_path(cube, s, d) for s, d in perm.items()}
+
+
+def valiant_route_permutation(
+    cube: Hypercube,
+    permutation: Mapping[int, int] | Sequence[int],
+    rng: random.Random | None = None,
+) -> dict[int, list[int]]:
+    """Valiant two-phase paths: ``src -> random node -> dst``.
+
+    Each source draws an independent uniform intermediate; the two
+    e-cube legs are concatenated (dropping the duplicated midpoint).
+    """
+    perm = _as_mapping(cube, permutation)
+    rng = rng or random.Random(0x1986)
+    out: dict[int, list[int]] = {}
+    for s, d in perm.items():
+        mid = rng.randrange(cube.num_nodes)
+        first = ecube_path(cube, s, mid)
+        second = ecube_path(cube, mid, d)
+        out[s] = first + second[1:]
+    return out
+
+
+def link_congestion(paths: Mapping[int, list[int]]) -> Counter:
+    """Directed-link load: how many paths use each directed edge."""
+    load: Counter[tuple[int, int]] = Counter()
+    for path in paths.values():
+        for a, b in zip(path, path[1:]):
+            load[(a, b)] += 1
+    return load
+
+
+def transpose_permutation(cube: Hypercube) -> dict[int, int]:
+    """The matrix-transpose permutation: swap the two address halves.
+
+    The classic bad case for e-cube routing: ``sqrt(N)`` sources share
+    single links.  Requires an even cube dimension.
+    """
+    n = cube.dimension
+    if n % 2:
+        raise ValueError(f"transpose permutation needs an even dimension, got {n}")
+    half = n // 2
+    mask = (1 << half) - 1
+    return {
+        v: ((v & mask) << half) | (v >> half)
+        for v in cube.nodes()
+    }
+
+
+def bit_reversal_permutation(cube: Hypercube) -> dict[int, int]:
+    """The bit-reversal permutation — another adversarial e-cube case."""
+    n = cube.dimension
+    out = {}
+    for v in cube.nodes():
+        r = 0
+        for j in range(n):
+            if (v >> j) & 1:
+                r |= 1 << (n - 1 - j)
+        out[v] = r
+    return out
+
+
+def _as_mapping(
+    cube: Hypercube,
+    permutation: Mapping[int, int] | Sequence[int],
+) -> dict[int, int]:
+    if isinstance(permutation, Mapping):
+        perm = dict(permutation)
+    else:
+        perm = dict(enumerate(permutation))
+    if sorted(perm) != list(cube.nodes()) or sorted(perm.values()) != list(cube.nodes()):
+        raise ValueError("not a permutation of the cube's nodes")
+    return perm

@@ -1,0 +1,47 @@
+"""Spanning structures of the hypercube: SBT, MSBT, BST, TCBT, HP."""
+
+from repro.trees.base import SpanningTree
+from repro.trees.bst import (
+    BalancedSpanningTree,
+    bst_children,
+    bst_parent,
+    bst_subtree_index,
+    max_subtree_size,
+)
+from repro.trees.hamiltonian import HamiltonianPathTree
+from repro.trees.hp_variants import CenteredHamiltonianPathTree, hamiltonian_cycle
+from repro.trees.msbt import (
+    EdgeReversedSBT,
+    MSBTGraph,
+    ersbt_children,
+    ersbt_parent,
+    msbt_k,
+    msbt_label,
+    msbt_zero_span,
+)
+from repro.trees.sbt import SpanningBinomialTree, sbt_children, sbt_parent
+from repro.trees.tcbt import TwoRootedCompleteBinaryTree, build_drcbt
+
+__all__ = [
+    "SpanningTree",
+    "SpanningBinomialTree",
+    "sbt_children",
+    "sbt_parent",
+    "EdgeReversedSBT",
+    "MSBTGraph",
+    "ersbt_children",
+    "ersbt_parent",
+    "msbt_k",
+    "msbt_label",
+    "msbt_zero_span",
+    "BalancedSpanningTree",
+    "bst_children",
+    "bst_parent",
+    "bst_subtree_index",
+    "max_subtree_size",
+    "TwoRootedCompleteBinaryTree",
+    "build_drcbt",
+    "HamiltonianPathTree",
+    "CenteredHamiltonianPathTree",
+    "hamiltonian_cycle",
+]

@@ -1,0 +1,153 @@
+"""The Balanced Spanning Tree (BST), §4.1 of the paper.
+
+For personalized (scatter) communication the root is the bottleneck:
+with the SBT, half of all traffic leaves over one port.  The BST prunes
+the MSBT graph into a single spanning tree whose ``n`` root subtrees
+each hold roughly ``N / log N`` nodes, so the root's ports carry nearly
+equal shares.
+
+Node ``i`` (relative address ``c = i XOR s``) is assigned to subtree
+``base(c)`` — the minimum number of right rotations after which ``c``
+attains its minimal rotated value (see :mod:`repro.bits.necklaces` for
+the convention note).  With ``j = base(c)`` and ``k`` the first set bit
+cyclically right of ``j`` (``k = j`` when ``c == 2**j``):
+
+* ``parent(i) = i with bit k flipped``;
+* ``children(i) = { i with bit m flipped : m a zero position between k
+  and j }`` restricted to nodes whose base equals ``base(c)``;
+* the root's children are all ``n`` neighbours.
+
+Properties proved in the companion report [8] and *verified by this
+library's tests*: one subtree has height ``n`` and the rest ``n - 1``;
+subtree sizes match Table 5 (max subtree = number of n-bit necklaces
+minus one); every cyclic node is a leaf; subtrees ``P .. n-1`` contain
+no cyclic node of period ``P``; subtrees (excluding the all-ones node)
+are isomorphic when ``n`` is prime; and ``phi(i, d)`` is monotone along
+tree edges (property 3, which the level-by-level scatter relies on).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.bits.necklaces import base as necklace_base
+from repro.bits.necklaces import count_necklaces, is_cyclic, period
+from repro.bits.ops import bit, flip_bit
+from repro.topology.hypercube import Hypercube
+from repro.trees.base import SpanningTree
+from repro.trees.msbt import msbt_k, msbt_zero_span
+
+__all__ = [
+    "bst_parent",
+    "bst_children",
+    "bst_subtree_index",
+    "BalancedSpanningTree",
+    "max_subtree_size",
+]
+
+
+def bst_subtree_index(i: int, s: int, n: int) -> int:
+    """Root subtree of node ``i`` in the BST at source ``s``: ``base(i ^ s)``.
+
+    Undefined for the root (``i == s``); raises ``ValueError`` there.
+    """
+    c = i ^ s
+    if c == 0:
+        raise ValueError("the root belongs to no subtree")
+    return necklace_base(c, n)
+
+
+def bst_parent(i: int, s: int, n: int) -> int | None:
+    """Parent of node ``i`` in the BST rooted at ``s`` in an ``n``-cube."""
+    c = i ^ s
+    if c == 0:
+        return None
+    j = necklace_base(c, n)
+    k = msbt_k(c, j, n)
+    return flip_bit(i, k)
+
+
+def bst_children(i: int, s: int, n: int) -> tuple[int, ...]:
+    """Children of node ``i`` in the BST rooted at ``s`` in an ``n``-cube."""
+    c = i ^ s
+    if c == 0:
+        return tuple(flip_bit(i, m) for m in range(n))
+    j = necklace_base(c, n)
+    kids = []
+    for m in msbt_zero_span(c, j, n):
+        q = flip_bit(i, m)
+        if necklace_base(q ^ s, n) == j:
+            kids.append(q)
+    return tuple(kids)
+
+
+def max_subtree_size(n: int) -> int:
+    """Closed form for the largest BST subtree: ``count_necklaces(n) - 1``.
+
+    Subtree ``j`` holds one member of every necklace whose period
+    exceeds ``j``; subtree 0 therefore holds one node per non-zero
+    necklace.  This reproduces Table 5 of the paper exactly.
+    """
+    if n < 1:
+        raise ValueError(f"cube dimension must be >= 1, got {n}")
+    return count_necklaces(n) - 1
+
+
+class BalancedSpanningTree(SpanningTree):
+    """The balanced spanning tree for one-to-all personalized communication.
+
+    >>> t = BalancedSpanningTree(Hypercube(4))
+    >>> sorted(len(v) for v in t.root_subtrees.values())
+    [3, 3, 4, 5]
+    >>> t.height
+    4
+    """
+
+    def parent(self, node: int) -> int | None:
+        self._cube.check_node(node)
+        return bst_parent(node, self._root, self.n)
+
+    def children(self, node: int) -> tuple[int, ...]:
+        self._cube.check_node(node)
+        return bst_children(node, self._root, self.n)
+
+    def subtree_index(self, node: int) -> int:
+        """Root subtree ``j = base(node ^ root)`` containing ``node``."""
+        return bst_subtree_index(self._cube.check_node(node), self._root, self.n)
+
+    @cached_property
+    def subtree_node_lists(self) -> tuple[tuple[int, ...], ...]:
+        """Nodes of each root subtree, indexed by subtree number ``0..n-1``.
+
+        Unlike :attr:`root_subtrees` (keyed by root child) this is keyed
+        by the paper's subtree index ``j``; subtree ``j`` hangs off the
+        root child across dimension ``j``.
+        """
+        groups: list[list[int]] = [[] for _ in range(self.n)]
+        for node in self._cube.nodes():
+            if node == self._root:
+                continue
+            groups[self.subtree_index(node)].append(node)
+        return tuple(tuple(sorted(g)) for g in groups)
+
+    def subtree_size(self, j: int) -> int:
+        """Number of nodes in root subtree ``j``."""
+        self._cube.check_port(j)
+        return len(self.subtree_node_lists[j])
+
+    def is_cyclic_node(self, node: int) -> bool:
+        """True when the relative address of ``node`` is cyclic (period < n)."""
+        c = self.relative(self._cube.check_node(node))
+        return c != 0 and is_cyclic(c, self.n)
+
+    def node_period(self, node: int) -> int:
+        """Rotation period of the relative address of ``node``."""
+        c = self.relative(self._cube.check_node(node))
+        if c == 0:
+            raise ValueError("the root's relative address 0 has no meaningful period")
+        return period(c, self.n)
+
+    def balance_ratio(self) -> float:
+        """Max subtree size over the ideal ``(N - 1) / n`` (Table 5's last column)."""
+        ideal = (self._cube.num_nodes - 1) / self.n
+        return max(map(len, self.subtree_node_lists)) / ideal

@@ -1,0 +1,49 @@
+"""The Hamiltonian-path (HP) broadcast baseline.
+
+A binary-reflected Gray code enumerates all cube nodes so that
+consecutive nodes are adjacent; translated to start at the source, the
+path is a (degenerate) spanning tree of height ``N - 1``.  Broadcasting
+along it needs ``N - 1`` propagation steps for one packet, but only one
+(full duplex) or two (half duplex) cycles per packet in steady state —
+which is why the paper notes HP can beat the SBT for very large
+messages when start-ups are cheap (Table 1 vs Table 2).
+"""
+
+from __future__ import annotations
+
+from repro.bits.gray import hamiltonian_path
+from repro.topology.hypercube import Hypercube
+from repro.trees.base import SpanningTree
+
+__all__ = ["HamiltonianPathTree"]
+
+
+class HamiltonianPathTree(SpanningTree):
+    """A Gray-code Hamiltonian path rooted at the source.
+
+    >>> t = HamiltonianPathTree(Hypercube(3), root=0)
+    >>> t.height
+    7
+    >>> t.path[:4]
+    [0, 1, 3, 2]
+    """
+
+    def __init__(self, cube: Hypercube, root: int = 0):
+        super().__init__(cube, root)
+        self._path = hamiltonian_path(cube.dimension, start=root)
+        self._parent_of = {b: a for a, b in zip(self._path, self._path[1:])}
+        self._parent_of[root] = None  # type: ignore[assignment]
+
+    @property
+    def path(self) -> list[int]:
+        """The node sequence from the source to the far end."""
+        return list(self._path)
+
+    def parent(self, node: int) -> int | None:
+        self._cube.check_node(node)
+        return self._parent_of[node]
+
+    def position(self, node: int) -> int:
+        """Index of ``node`` along the path (the source is 0)."""
+        self._cube.check_node(node)
+        return self.levels[node]

@@ -1,0 +1,79 @@
+"""Hamiltonian-path variations (§3.4).
+
+The paper notes two HP variations that change delays and cycles per
+packet "by at most a factor of two":
+
+* a Hamiltonian path **with the source at the center** — two arms of
+  about ``N/2`` nodes each halve the propagation delay;
+* **two Hamiltonian paths with opposite directions sending distinct
+  data** — realized in :mod:`repro.routing.broadcast_hp_variants` on
+  the Gray-code Hamiltonian *cycle*.
+
+This module provides the centered path as a spanning tree (root of
+degree two), so the generic tree broadcast drives it directly.
+"""
+
+from __future__ import annotations
+
+from repro.bits.gray import gray_sequence
+from repro.topology.hypercube import Hypercube
+from repro.trees.base import SpanningTree
+
+__all__ = ["CenteredHamiltonianPathTree", "hamiltonian_cycle"]
+
+
+def hamiltonian_cycle(n: int, start: int = 0) -> list[int]:
+    """The Gray-code Hamiltonian *cycle* through all ``2**n`` nodes.
+
+    Consecutive entries are adjacent, and so are the last and first
+    (the binary-reflected Gray code is cyclic).  Requires ``n >= 2``
+    for the closing edge to be distinct from the opening edge.
+    """
+    if n < 2:
+        raise ValueError(f"a Hamiltonian cycle needs n >= 2, got {n}")
+    if start < 0 or start >> n:
+        raise ValueError(f"start node {start} outside a {n}-cube")
+    return [g ^ start for g in gray_sequence(n)]
+
+
+class CenteredHamiltonianPathTree(SpanningTree):
+    """A Hamiltonian path re-rooted at its center node.
+
+    The root sits in the middle of a Gray-code path, with the two path
+    halves hanging off it as arms of sizes ``N/2`` and ``N/2 - 1``.
+    Propagation delay drops from ``N - 1`` to ``N/2`` — the paper's
+    "source at the center of the path" variation.
+
+    >>> t = CenteredHamiltonianPathTree(Hypercube(3), root=0)
+    >>> t.height
+    4
+    >>> len(t.children(0))
+    2
+    """
+
+    def __init__(self, cube: Hypercube, root: int = 0):
+        super().__init__(cube, root)
+        cycle = hamiltonian_cycle(cube.dimension, start=root)
+        half = cube.num_nodes // 2
+        # arm A: forward along the cycle; arm B: backward (cycle edges)
+        arm_a = cycle[1 : half + 1]
+        arm_b = list(reversed(cycle[half + 1 :]))
+        self._parent_of: dict[int, int | None] = {root: None}
+        prev = root
+        for v in arm_a:
+            self._parent_of[v] = prev
+            prev = v
+        prev = root
+        for v in arm_b:
+            self._parent_of[v] = prev
+            prev = v
+        self._arms = (tuple(arm_a), tuple(arm_b))
+
+    @property
+    def arms(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """The two path arms, in root-to-tip order."""
+        return self._arms
+
+    def parent(self, node: int) -> int | None:
+        self._cube.check_node(node)
+        return self._parent_of[node]

@@ -1,0 +1,108 @@
+"""The Spanning Binomial Tree (SBT), §3.1 of the paper.
+
+The SBT rooted at node ``s`` contains, for each node ``i`` with
+relative address ``c = i XOR s``, the edges obtained by complementing
+any bit of the *leading zeroes* of ``c``.  Equivalently, with ``k`` the
+highest-order set bit of ``c`` (``k = -1`` for ``c = 0``):
+
+* ``children(i) = { i with bit m flipped : m in k+1 .. n-1 }``
+* ``parent(i)   = i with bit k flipped`` (undefined at the root).
+
+Structure facts (asserted in tests): level of node ``i`` is ``|c|``,
+level ``l`` holds ``C(n, l)`` nodes, subtree ``j`` of the root holds the
+``2**j`` nodes whose relative addresses have highest set bit ``j``, and
+the height is ``n``.
+"""
+
+from __future__ import annotations
+
+from repro.bits.ops import flip_bit, highest_set_bit, lowest_set_bit, popcount
+from repro.topology.hypercube import Hypercube
+from repro.trees.base import SpanningTree
+
+__all__ = ["SpanningBinomialTree", "sbt_children", "sbt_parent"]
+
+
+def sbt_parent(i: int, s: int, n: int) -> int | None:
+    """Parent of node ``i`` in the SBT rooted at ``s`` in an ``n``-cube.
+
+    Pure-function form of the paper's ``parent_SBT(i, s)``.
+    """
+    c = i ^ s
+    if c == 0:
+        return None
+    k = highest_set_bit(c)
+    return flip_bit(i, k)
+
+
+def sbt_children(i: int, s: int, n: int) -> tuple[int, ...]:
+    """Children of node ``i`` in the SBT rooted at ``s`` in an ``n``-cube.
+
+    Pure-function form of the paper's ``children_SBT(i, s)``: complement
+    each leading-zero bit of the relative address.
+    """
+    c = i ^ s
+    k = highest_set_bit(c)  # -1 at the root
+    return tuple(flip_bit(i, m) for m in range(k + 1, n))
+
+
+class SpanningBinomialTree(SpanningTree):
+    """The binomial spanning tree of the cube, rooted anywhere.
+
+    >>> t = SpanningBinomialTree(Hypercube(3), root=0)
+    >>> t.children(0)
+    (1, 2, 4)
+    >>> t.children(1)
+    (3, 5)
+    >>> t.parent(6)
+    2
+    """
+
+    def parent(self, node: int) -> int | None:
+        self._cube.check_node(node)
+        return sbt_parent(node, self._root, self.n)
+
+    def children(self, node: int) -> tuple[int, ...]:
+        # Direct formula — no need for the cached derivation.
+        self._cube.check_node(node)
+        return sbt_children(node, self._root, self.n)
+
+    def level(self, node: int) -> int:
+        """Depth of ``node``: the Hamming weight of its relative address."""
+        self._cube.check_node(node)
+        return popcount(node ^ self._root)
+
+    def subtree_index(self, node: int) -> int:
+        """Root subtree ``j`` containing ``node``.
+
+        Per §4.1: node ``i`` belongs to subtree ``j`` iff bit ``j`` of
+        the relative address is one and all lower bits are zero — i.e.
+        ``j`` is the lowest set bit.  Subtree ``j`` hangs off the root's
+        port ``j`` and holds ``2**(n-1-j)`` nodes; half of the cube sits
+        in subtree 0, which is why the SBT root's port 0 is the scatter
+        bottleneck.  Undefined for the root itself (raises
+        ``ValueError``).
+        """
+        c = self.relative(self._cube.check_node(node))
+        if c == 0:
+            raise ValueError("the root belongs to no subtree")
+        return lowest_set_bit(c)
+
+    def subtree_size(self, j: int) -> int:
+        """Size of root subtree ``j``: ``2**(n-1-j)`` nodes."""
+        self._cube.check_port(j)
+        return 1 << (self.n - 1 - j)
+
+    def descending_relative_order(self) -> list[int]:
+        """Non-root nodes in descending relative-address order.
+
+        This is the transmission order used by the paper's iPSC
+        implementation of the SBT scatter (§5.2): the root processes the
+        data starting with relative address ``N - 1`` and the resulting
+        port order follows the binary-reflected Gray code transition
+        sequence.
+        """
+        return [
+            self._root ^ c
+            for c in range(self._cube.num_nodes - 1, 0, -1)
+        ]

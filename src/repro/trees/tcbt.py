@@ -1,0 +1,133 @@
+"""The Two-rooted Complete Binary Tree (TCBT) baseline [Bhatt–Ipsen,
+Deshpande–Jenevein].
+
+A complete binary tree with ``2**n - 1`` nodes does not embed in the
+``n``-cube with dilation 1 (parity obstruction), but the *two-rooted*
+(double-rooted) variant with ``2**n`` nodes does, as a spanning tree:
+two adjacent roots ``R1 — R2``, each with a single child heading a
+complete binary tree of height ``n - 2``.
+
+The construction here is the classic induction, carried out with an
+explicit dimension triple ``(e, p, r)``: the root edge crosses
+dimension ``e``, ``R1``'s child edge crosses ``p`` and ``R2``'s child
+edge crosses ``r``.  To build a triple with ``p != r`` over ``n`` dims,
+split the cube across ``e`` into halves ``H0``/``H1``; build
+``(p, r, q)`` in ``H0`` (roots ``u1 — u2``) and ``(r, p, s)`` in ``H1``
+(roots ``v1 — v2``, translated so ``v1 = u1 XOR 2^e``); then take
+``R1 = u1`` with child ``u2``, ``R2 = v1`` with child ``v2``, re-hanging
+``u1``'s old subtree head under ``v2`` and ``v1``'s old subtree head
+under ``u2`` (both re-hangs cross dimension ``e``, so dilation stays 1).
+The two-dimensional base case is the 4-node path, where both child
+edges necessarily cross the same dimension.
+"""
+
+from __future__ import annotations
+
+from repro.bits.ops import flip_bit
+from repro.topology.hypercube import Hypercube
+from repro.trees.base import SpanningTree
+
+__all__ = ["TwoRootedCompleteBinaryTree", "build_drcbt"]
+
+
+def _build(
+    dims: tuple[int, ...],
+    e: int,
+    p: int,
+    r: int,
+) -> tuple[int, int, dict[int, int]]:
+    """Recursively build a DRCBT over the subcube spanned by ``dims``.
+
+    Returns ``(u1, u2, parents)`` where ``u1 XOR u2 == 2**e`` is the
+    root pair, ``u1``'s child crosses ``p``, ``u2``'s child crosses
+    ``r``, ``u1 == 0`` (callers translate), and ``parents`` maps every
+    other subcube node to its parent.
+    """
+    n = len(dims)
+    if n == 1:
+        return 0, 1 << e, {}
+    if n == 2:
+        if p != r:
+            raise ValueError("a 2-cube DRCBT forces both child edges onto one dimension")
+        u1, u2 = 0, 1 << e
+        return u1, u2, {flip_bit(u1, p): u1, flip_bit(u2, p): u2}
+    if p == r:
+        raise ValueError(f"child dimensions must differ for n >= 3, got p == r == {p}")
+    sub = tuple(d for d in dims if d != e)
+    # Free child dimension for the recursive halves: any sub-dimension
+    # other than p and r when available, else (the 2-dim base) forced.
+    if len(sub) == 2:
+        q = r
+        s = p
+    else:
+        q = next(d for d in sub if d not in (p, r))
+        s = q
+    u1, u2, parents0 = _build(sub, p, r, q)
+    v1_raw, v2_raw, parents1_raw = _build(sub, r, p, s)
+    shift = flip_bit(u1, e) ^ v1_raw  # translate so v1 lands across e from u1
+    v1 = v1_raw ^ shift
+    v2 = v2_raw ^ shift
+    parents = dict(parents0)
+    for node, par in parents1_raw.items():
+        parents[node ^ shift] = par ^ shift
+    x1 = flip_bit(u1, r)  # u1's old subtree head
+    y1 = flip_bit(v1, p)  # v1's old subtree head
+    # Re-hang across dimension e and wire the new root children.
+    parents[y1] = u2
+    parents[x1] = v2
+    parents[u2] = u1
+    parents[v2] = v1
+    return u1, v1, parents
+
+
+def build_drcbt(n: int) -> tuple[int, int, dict[int, int]]:
+    """Build a spanning DRCBT of the ``n``-cube at a canonical position.
+
+    Returns ``(R1, R2, parents)``: the adjacent root pair with
+    ``R1 == 0`` and the parent of every node other than the roots.
+    """
+    if n < 1:
+        raise ValueError(f"cube dimension must be >= 1, got {n}")
+    if n == 1:
+        return _build((0,), 0, 0, 0)
+    if n == 2:
+        return _build((0, 1), 1, 0, 0)
+    return _build(tuple(range(n)), n - 1, 0, 1)
+
+
+class TwoRootedCompleteBinaryTree(SpanningTree):
+    """Spanning DRCBT rooted (for routing purposes) at one of its two roots.
+
+    The broadcast source is ``R1``; ``R2`` becomes its first child.
+    From ``R1`` the tree has height ``n``; every internal node below
+    the roots has exactly two children, which is why one-port TCBT
+    broadcast needs ``2 log N - 2`` propagation steps (Table 1).
+
+    >>> t = TwoRootedCompleteBinaryTree(Hypercube(4), root=0)
+    >>> t.validate()
+    >>> t.height
+    4
+    """
+
+    def __init__(self, cube: Hypercube, root: int = 0):
+        super().__init__(cube, root)
+        r1, r2, parents = build_drcbt(cube.dimension)
+        shift = root ^ r1
+        self._parents: dict[int, int | None] = {
+            node ^ shift: par ^ shift for node, par in parents.items()
+        }
+        self._parents[r1 ^ shift] = None
+        self._parents[r2 ^ shift] = r1 ^ shift
+        self._second_root = r2 ^ shift
+
+    @property
+    def second_root(self) -> int:
+        """The co-root ``R2`` (first child of the routing root ``R1``)."""
+        return self._second_root
+
+    def parent(self, node: int) -> int | None:
+        return self._parents[self._cube.check_node(node)]
+
+    def max_fanout(self) -> int:
+        """Largest out-degree in the tree (2 below the roots)."""
+        return max(len(kids) for kids in self.children_map.values())

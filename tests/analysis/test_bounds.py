@@ -1,0 +1,68 @@
+"""Tests for the lower bounds and their consistency with the models."""
+
+import pytest
+
+from repro.analysis import (
+    broadcast_model,
+    broadcast_step_lower_bound,
+    broadcast_time_lower_bound,
+    personalized_time_lower_bound,
+    personalized_tmin,
+    source_traffic_personalized,
+)
+from repro.sim.ports import PortModel
+
+
+class TestBroadcastBounds:
+    def test_msbt_meets_step_bound(self):
+        # the MSBT model equals the lower bound — that is the paper's point
+        for n in (3, 5, 7):
+            for P in (4, 32):
+                M, B = P * 4, 4
+                for pm in (PortModel.ONE_PORT_FULL, PortModel.ALL_PORT):
+                    bound = broadcast_step_lower_bound(M, B, n, pm)
+                    msbt = broadcast_model("msbt", pm).steps(M, B, n)
+                    assert msbt == bound, (n, P, pm)
+
+    def test_sbt_exceeds_bound_by_factor_log_n(self):
+        n, M, B = 6, 256, 1
+        bound = broadcast_step_lower_bound(M, B, n, PortModel.ONE_PORT_FULL)
+        sbt = broadcast_model("sbt", PortModel.ONE_PORT_FULL).steps(M, B, n)
+        assert sbt / bound > 0.8 * n
+
+    def test_single_packet_bound_is_log_n(self):
+        for pm in PortModel:
+            assert broadcast_step_lower_bound(1, 1, 5, pm) == 5
+
+    def test_time_bound_below_all_models(self):
+        M, n, tau, tc = 4096, 6, 8.0, 1.0
+        for pm in PortModel:
+            bound = broadcast_time_lower_bound(M, n, tau, tc, pm)
+            for algo in ("sbt", "msbt", "tcbt", "hp"):
+                t = broadcast_model(algo, pm).t_min(M, n, tau, tc)
+                assert t >= bound * 0.999, (algo, pm)
+
+
+class TestPersonalizedBounds:
+    def test_source_traffic(self):
+        assert source_traffic_personalized(4, 3) == 45
+
+    def test_bst_meets_all_port_bound_asymptotically(self):
+        n, M, tau, tc = 10, 4, 1.0, 1.0
+        bound = personalized_time_lower_bound(n, M, tau, tc, PortModel.ALL_PORT)
+        bst = personalized_tmin("bst", PortModel.ALL_PORT, n, M, tau, tc)
+        assert bst == pytest.approx(bound, rel=0.01)
+
+    def test_sbt_meets_one_port_bound(self):
+        n, M, tau, tc = 6, 4, 1.0, 1.0
+        bound = personalized_time_lower_bound(n, M, tau, tc, PortModel.ONE_PORT_FULL)
+        sbt = personalized_tmin("sbt", PortModel.ONE_PORT_FULL, n, M, tau, tc)
+        assert sbt == pytest.approx(bound)
+
+    def test_all_models_at_or_above_bounds(self):
+        n, M, tau, tc = 6, 4, 1.0, 1.0
+        for pm in (PortModel.ONE_PORT_FULL, PortModel.ALL_PORT):
+            bound = personalized_time_lower_bound(n, M, tau, tc, pm)
+            for algo in ("sbt", "tcbt", "bst"):
+                t = personalized_tmin(algo, pm, n, M, tau, tc)
+                assert t >= bound * 0.95, (algo, pm, t, bound)

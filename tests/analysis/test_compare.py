@@ -1,0 +1,68 @@
+"""Tests for the Table 1/2/4 comparison builders."""
+
+import pytest
+
+from repro.analysis import (
+    TABLE4_REGIMES,
+    TABLE4_ROWS,
+    cycles_per_packet_table,
+    numeric_b_opt,
+    propagation_delay_table,
+    table4_paper_entry,
+    table4_ratio,
+)
+from repro.analysis.models import broadcast_model
+from repro.sim.ports import PortModel
+
+
+class TestTableBuilders:
+    def test_propagation_table_shape(self):
+        t = propagation_delay_table(5)
+        assert set(t) == {"hp", "sbt", "tcbt", "msbt"}
+        assert t["hp"][PortModel.ALL_PORT] == 31
+        assert t["msbt"][PortModel.ONE_PORT_FULL] == 10
+
+    def test_cycles_table_shape(self):
+        t = cycles_per_packet_table(5)
+        assert t["msbt"][PortModel.ALL_PORT] == pytest.approx(0.2)
+        assert t["sbt"][PortModel.ONE_PORT_HALF] == 5
+
+
+class TestTable4:
+    def test_exact_columns_match_paper(self):
+        for n in (5, 8):
+            for algo, pm in TABLE4_ROWS:
+                for regime in ("one_packet", "many_packets"):
+                    got = table4_ratio(algo, pm, regime, n)
+                    want = table4_paper_entry(algo, pm, regime, n)
+                    assert got == pytest.approx(want, rel=0.02), (algo, pm, regime, n)
+
+    def test_bandwidth_column_matches_paper(self):
+        for algo, pm in TABLE4_ROWS:
+            got = table4_ratio(algo, pm, "b_opt_bandwidth_dominated", 8)
+            want = table4_paper_entry(algo, pm, "b_opt_bandwidth_dominated", 8)
+            assert got == pytest.approx(want, rel=0.05), (algo, pm)
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(ValueError):
+            table4_ratio("sbt", PortModel.ALL_PORT, "bogus", 4)
+        with pytest.raises(ValueError):
+            table4_paper_entry("sbt", PortModel.ALL_PORT, "bogus", 4)
+
+    def test_all_regimes_enumerated(self):
+        assert len(TABLE4_REGIMES) == 4
+
+
+class TestNumericBOpt:
+    def test_matches_closed_form_sbt_all_port(self):
+        m = broadcast_model("sbt", PortModel.ALL_PORT)
+        M, n, tau, tc = 960, 5, 8.0, 1.0
+        b_num, t_num = numeric_b_opt(m, M, n, tau, tc)
+        b_model = m.b_opt(M, n, tau, tc)
+        assert abs(b_num - b_model) <= max(4, 0.2 * b_model)
+        assert t_num <= m.t_min(M, n, tau, tc) * 1.1
+
+    def test_bad_message_rejected(self):
+        m = broadcast_model("sbt", PortModel.ALL_PORT)
+        with pytest.raises(ValueError):
+            numeric_b_opt(m, 0, 4, 1, 1)

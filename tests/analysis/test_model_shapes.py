@@ -1,0 +1,52 @@
+"""Structural sanity of the Table 3 models themselves."""
+
+import pytest
+
+from repro.analysis.models import BROADCAST_ALGOS, broadcast_model
+from repro.sim.ports import PortModel
+
+
+class TestModelShapes:
+    @pytest.mark.parametrize("algo", BROADCAST_ALGOS)
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_steps_decrease_with_packet_size(self, algo, pm):
+        m = broadcast_model(algo, pm)
+        M, n = 4096, 6
+        prev = None
+        for B in (1, 4, 16, 64, 256, 1024):
+            steps = m.steps(M, B, n)
+            if prev is not None:
+                assert steps <= prev, (algo, pm, B)
+            prev = steps
+
+    @pytest.mark.parametrize("algo", BROADCAST_ALGOS)
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_time_extremes_worse_than_b_opt(self, algo, pm):
+        # T(B) blows up at both ends: B = 1 pays maximal start-ups,
+        # B = M maximal pipeline stalls (except one-port SBT, whose
+        # optimum IS B = M)
+        m = broadcast_model(algo, pm)
+        M, n, tau, tc = 4096, 6, 64.0, 1.0
+        b_opt = max(1, min(M, round(m.b_opt(M, n, tau, tc))))
+        t_opt = m.time(M, b_opt, n, tau, tc)
+        assert m.time(M, 1, n, tau, tc) >= t_opt
+        assert m.time(M, M, n, tau, tc) >= t_opt * 0.999
+
+    @pytest.mark.parametrize("algo", BROADCAST_ALGOS)
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_t_min_below_all_sampled_times(self, algo, pm):
+        # T_min is the continuous-relaxation optimum: no sampled
+        # discrete B does better by more than discretization noise
+        m = broadcast_model(algo, pm)
+        M, n, tau, tc = 4096, 6, 64.0, 1.0
+        best = min(m.time(M, B, n, tau, tc) for B in range(1, M + 1, 8))
+        assert m.t_min(M, n, tau, tc) <= best * 1.05
+
+    @pytest.mark.parametrize("algo", BROADCAST_ALGOS)
+    def test_more_ports_never_hurt(self, algo):
+        M, n, tau, tc = 4096, 6, 16.0, 1.0
+        t_half = broadcast_model(algo, PortModel.ONE_PORT_HALF).t_min(M, n, tau, tc)
+        t_full = broadcast_model(algo, PortModel.ONE_PORT_FULL).t_min(M, n, tau, tc)
+        t_all = broadcast_model(algo, PortModel.ALL_PORT).t_min(M, n, tau, tc)
+        assert t_all <= t_full * 1.001
+        assert t_full <= t_half * 1.001

@@ -1,0 +1,119 @@
+"""Tests for the closed-form complexity models (Tables 1-3, 6)."""
+
+from math import ceil, sqrt
+
+import pytest
+
+from repro.analysis import (
+    broadcast_model,
+    broadcast_time,
+    cycles_per_packet,
+    personalized_time_one_port,
+    personalized_tmin,
+    propagation_delay,
+)
+from repro.sim.ports import PortModel
+
+
+class TestBroadcastModels:
+    def test_sbt_one_port(self):
+        m = broadcast_model("sbt", PortModel.ONE_PORT_FULL)
+        assert m.steps(960, 60, 5) == 16 * 5
+        assert m.b_opt(960, 5, 8, 1) == 960
+        assert m.t_min(960, 5, 8, 1) == 5 * (960 + 8)
+
+    def test_msbt_full_duplex_lower_bound_form(self):
+        m = broadcast_model("msbt", PortModel.ONE_PORT_FULL)
+        assert m.steps(960, 60, 5) == 16 + 5
+        assert m.t_min(960, 5, 8, 1) == pytest.approx(
+            (sqrt(960) + sqrt(8 * 5)) ** 2
+        )
+
+    def test_msbt_all_port(self):
+        m = broadcast_model("msbt", PortModel.ALL_PORT)
+        assert m.steps(960, 60, 5) == ceil(960 / (60 * 5)) + 5
+        assert m.b_opt(960, 5, 8, 1) == pytest.approx(sqrt(960 * 8) / 5)
+
+    def test_time_is_steps_times_packet_cost(self):
+        m = broadcast_model("hp", PortModel.ONE_PORT_FULL)
+        assert m.time(100, 10, 4, 2.0, 0.5) == (10 + 16 - 3) * (2.0 + 5.0)
+        assert broadcast_time("hp", PortModel.ONE_PORT_FULL, 100, 10, 4, 2.0, 0.5) == m.time(
+            100, 10, 4, 2.0, 0.5
+        )
+
+    def test_unknown_pair_rejected(self):
+        with pytest.raises(ValueError):
+            broadcast_model("bogus", PortModel.ALL_PORT)
+
+    def test_msbt_always_at_most_sbt_steps(self):
+        # MSBT's step count never exceeds SBT's (for multi-packet runs)
+        for n in (3, 5, 8):
+            for MB in (4, 16, 256):
+                M, B = MB * 8, 8
+                for pm in PortModel:
+                    msbt = broadcast_model("msbt", pm).steps(M, B, n)
+                    sbt = broadcast_model("sbt", pm).steps(M, B, n)
+                    assert msbt <= sbt + n, (n, MB, pm)
+
+
+class TestTable1And2:
+    def test_propagation_delays_known_values(self):
+        n = 4
+        assert propagation_delay("hp", PortModel.ALL_PORT, n) == 15
+        assert propagation_delay("sbt", PortModel.ONE_PORT_HALF, n) == 4
+        assert propagation_delay("tcbt", PortModel.ONE_PORT_FULL, n) == 6
+        assert propagation_delay("msbt", PortModel.ONE_PORT_HALF, n) == 11
+        assert propagation_delay("msbt", PortModel.ONE_PORT_FULL, n) == 8
+        assert propagation_delay("msbt", PortModel.ALL_PORT, n) == 5
+
+    def test_cycles_per_packet_known_values(self):
+        n = 4
+        assert cycles_per_packet("hp", PortModel.ONE_PORT_HALF, n) == 2
+        assert cycles_per_packet("sbt", PortModel.ONE_PORT_FULL, n) == 4
+        assert cycles_per_packet("msbt", PortModel.ALL_PORT, n) == 0.25
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_delay("bogus", PortModel.ALL_PORT, 4)
+        with pytest.raises(ValueError):
+            cycles_per_packet("bogus", PortModel.ALL_PORT, 4)
+
+
+class TestTable6:
+    def test_sbt_rows(self):
+        n, M, tau, tc = 5, 8, 1.0, 1.0
+        assert personalized_tmin("sbt", PortModel.ONE_PORT_FULL, n, M, tau, tc) == 31 * 8 + 5
+        assert personalized_tmin("sbt", PortModel.ALL_PORT, n, M, tau, tc) == 16 * 8 + 5
+
+    def test_bst_allport_beats_sbt_by_about_half_log_n(self):
+        n, M = 10, 1
+        sbt = personalized_tmin("sbt", PortModel.ALL_PORT, n, M, 0.0, 1.0)
+        bst = personalized_tmin("bst", PortModel.ALL_PORT, n, M, 0.0, 1.0)
+        assert sbt / bst == pytest.approx(n / 2, rel=0.01)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            personalized_tmin("bogus", PortModel.ALL_PORT, 4, 1, 1, 1)
+
+
+class TestOnePortTB:
+    def test_sbt_small_packets(self):
+        # (NM/B - 1)(B tc + tau) for B <= M
+        n, M, B = 4, 8, 4
+        t = personalized_time_one_port("sbt", n, M, B, 1.0, 1.0)
+        assert t == (16 * 8 / 4 - 1) * (4 + 1)
+
+    def test_bst_unbounded(self):
+        n, M = 4, 8
+        t = personalized_time_one_port("bst", n, M, 16 * 8, 1.0, 1.0)
+        assert t == 4 + 15 * 8
+
+    def test_bst_b_equals_m_matches_sbt_form(self):
+        # for B = M both are (N-1)(tau + M tc) (§4.3)
+        n, M = 5, 8
+        bst = personalized_time_one_port("bst", n, M, M, 1.0, 1.0)
+        assert bst == (31) * (1 + 8)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            personalized_time_one_port("bogus", 4, 1, 1, 1, 1)

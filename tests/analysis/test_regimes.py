@@ -1,0 +1,69 @@
+"""Tests for the crossover analysis — §3.4's HP-vs-SBT observation."""
+
+import pytest
+
+from repro.analysis.regimes import (
+    crossover_message_size,
+    fastest_algorithm,
+    optimal_times,
+)
+from repro.sim.ports import PortModel
+
+
+class TestOptimalTimes:
+    def test_all_algorithms_reported(self):
+        times = optimal_times(5, 1024, 1.0, 1.0, PortModel.ONE_PORT_FULL)
+        assert set(times) == {"hp", "sbt", "tcbt", "msbt"}
+        assert all(t > 0 for t in times.values())
+
+    def test_msbt_is_fastest_in_normal_regimes(self):
+        for M in (64, 4096):
+            assert fastest_algorithm(6, M, 10.0, 1.0, PortModel.ONE_PORT_FULL) == "msbt"
+
+
+class TestHpCrossover:
+    def test_hp_beats_sbt_for_huge_messages_cheap_startups(self):
+        # the §3.4 observation: HP steady state is 1 cycle/packet vs
+        # log N for the SBT, so with tiny tau and big M the path wins
+        n, tau, tc = 6, 0.001, 1.0
+        M = 1 << 20
+        times = optimal_times(n, M, tau, tc, PortModel.ONE_PORT_FULL)
+        assert times["hp"] < times["sbt"]
+
+    def test_sbt_beats_hp_for_small_messages(self):
+        n, tau, tc = 6, 1.0, 1.0
+        times = optimal_times(n, 4, tau, tc, PortModel.ONE_PORT_FULL)
+        assert times["sbt"] < times["hp"]
+
+    def test_crossover_found_and_consistent(self):
+        n, tau, tc = 6, 1.0, 1.0
+        m_star = crossover_message_size("hp", "sbt", n, tau, tc, PortModel.ONE_PORT_FULL)
+        assert m_star is not None and m_star > 1
+        times_before = optimal_times(n, max(m_star // 2, 1), tau, tc, PortModel.ONE_PORT_FULL)
+        times_after = optimal_times(n, m_star * 2, tau, tc, PortModel.ONE_PORT_FULL)
+        assert times_before["sbt"] <= times_before["hp"]
+        assert times_after["hp"] < times_after["sbt"]
+
+    def test_crossover_grows_with_startup_cost(self):
+        # more expensive start-ups push the HP's break-even point out
+        n, tc = 6, 1.0
+        m_cheap = crossover_message_size("hp", "sbt", n, 0.01, tc, PortModel.ONE_PORT_FULL)
+        m_dear = crossover_message_size("hp", "sbt", n, 1.0, tc, PortModel.ONE_PORT_FULL)
+        assert m_cheap is not None and m_dear is not None
+        assert m_dear > m_cheap
+
+    def test_no_crossover_against_msbt(self):
+        # HP never beats the MSBT under one send and receive: both move
+        # one packet per cycle in steady state but the MSBT's fill is
+        # log N, the HP's is N
+        assert crossover_message_size(
+            "hp", "msbt", 6, 1.0, 1.0, PortModel.ONE_PORT_FULL, m_max=1 << 30
+        ) is None
+
+    def test_hp_can_beat_tcbt_too(self):
+        # "...or even the TCBT": TCBT pays 2 cycles/packet full duplex
+        n, tau, tc = 5, 0.001, 1.0
+        m_star = crossover_message_size("hp", "tcbt", n, tau, tc, PortModel.ONE_PORT_FULL)
+        assert m_star is not None
+        times = optimal_times(n, m_star * 4, tau, tc, PortModel.ONE_PORT_FULL)
+        assert times["hp"] < times["tcbt"]

@@ -1,0 +1,66 @@
+"""Symbolic formula registry sanity: strings agree with the numeric models."""
+
+import math
+import re
+
+import pytest
+
+from repro.analysis.models import broadcast_model
+from repro.analysis.symbolic import (
+    render_table3,
+    render_table6,
+    table3_formulas,
+    table6_formulas,
+)
+from repro.sim.ports import PortModel
+
+
+def _eval_formula(expr: str, M: int, B: int, n: int, tau: float, tc: float) -> float:
+    """Evaluate a transcribed formula string numerically."""
+    N = 1 << n
+    s = expr
+    s = s.replace("^2", "**2")
+    s = s.replace(")(", ")*(")
+    s = re.sub(r"(\d)N", r"\1*N", s)
+    env = {
+        "ceil": math.ceil,
+        "sqrt": math.sqrt,
+        "log": math.log2,
+        "logN": n,
+        "N": N,
+        "M": M,
+        "B": B,
+        "tau": tau,
+        "tc": tc,
+    }
+    return float(eval(s, {"__builtins__": {}}, env))  # noqa: S307 - test-local
+
+
+class TestTable3Symbolic:
+    @pytest.mark.parametrize(
+        "algo,pm",
+        [(a, p) for a in ("hp", "sbt", "tcbt", "msbt") for p in PortModel
+         if not (a == "hp" and p is PortModel.ALL_PORT)],
+    )
+    def test_t_formula_matches_numeric_model(self, algo, pm):
+        t_expr, _, tmin_expr = table3_formulas(algo, pm)
+        M, B, n, tau, tc = 960, 60, 5, 8.0, 1.0
+        model = broadcast_model(algo, pm)
+        assert _eval_formula(t_expr, M, B, n, tau, tc) == pytest.approx(
+            model.time(M, B, n, tau, tc)
+        )
+        assert _eval_formula(tmin_expr, M, B, n, tau, tc) == pytest.approx(
+            model.t_min(M, n, tau, tc)
+        )
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            table3_formulas("bogus", PortModel.ALL_PORT)
+        with pytest.raises(ValueError):
+            table6_formulas("bogus", PortModel.ALL_PORT)
+
+    def test_renderings(self):
+        t3 = render_table3()
+        assert "Table 3" in t3 and "sqrt(M*tc)" in t3
+        t6 = render_table6()
+        assert "Table 6" in t6 and "(N-1)*M*tc + logN*tau" in t6

@@ -1,0 +1,68 @@
+"""Boundary cases across the bits substrate."""
+
+import pytest
+
+from repro.bits import (
+    base,
+    count_cyclic,
+    count_necklaces,
+    generator_set,
+    gray_sequence,
+    hamiltonian_path,
+    necklace_representatives,
+    period,
+    rotate_right,
+    transition_sequence,
+)
+
+
+class TestWidthOne:
+    def test_period_and_base(self):
+        assert period(0, 1) == 1
+        assert period(1, 1) == 1
+        assert base(0, 1) == 0
+        assert base(1, 1) == 0
+
+    def test_counts(self):
+        assert count_necklaces(1) == 2
+        assert count_cyclic(1) == 0  # no period < 1 possible
+        assert necklace_representatives(1) == [0, 1]
+
+    def test_rotation_identity(self):
+        assert rotate_right(1, 5, 1) == 1
+
+    def test_gray_and_path(self):
+        assert gray_sequence(1) == [0, 1]
+        assert transition_sequence(1) == [0]
+        assert hamiltonian_path(1) == [0, 1]
+
+
+class TestZeroWidth:
+    def test_gray_sequence_zero(self):
+        assert gray_sequence(0) == [0]
+        assert transition_sequence(0) == []
+
+    def test_bad_widths_rejected(self):
+        with pytest.raises(ValueError):
+            period(0, 0)
+        with pytest.raises(ValueError):
+            count_necklaces(0)
+        with pytest.raises(ValueError):
+            necklace_representatives(-1)
+
+
+class TestAllOnesAndZero:
+    @pytest.mark.parametrize("n", [2, 5, 8])
+    def test_constant_words(self, n):
+        ones = (1 << n) - 1
+        assert period(ones, n) == 1
+        assert base(ones, n) == 0
+        assert generator_set(ones, n) == (ones,)
+        assert period(0, n) == 1
+        assert generator_set(0, n) == (0,)
+
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_alternating_word(self, n):
+        alt = sum(1 << j for j in range(0, n, 2))
+        assert period(alt, n) == 2
+        assert len(generator_set(alt, n)) == 2

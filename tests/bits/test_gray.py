@@ -1,0 +1,72 @@
+"""Unit tests for binary-reflected Gray codes and Hamiltonian paths."""
+
+import pytest
+
+from repro.bits import gray
+from repro.bits.ops import hamming_distance
+
+
+class TestGrayCode:
+    def test_first_codewords(self):
+        assert [gray.gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_decode_inverts_encode(self):
+        for i in range(512):
+            assert gray.gray_decode(gray.gray_code(i)) == i
+            assert gray.gray_rank(gray.gray_code(i)) == i
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray.gray_code(-1)
+        with pytest.raises(ValueError):
+            gray.gray_decode(-3)
+
+    def test_sequence_adjacent_differ_in_one_bit(self):
+        for n in range(1, 7):
+            seq = gray.gray_sequence(n)
+            assert len(seq) == 1 << n
+            assert len(set(seq)) == 1 << n
+            for a, b in zip(seq, seq[1:]):
+                assert hamming_distance(a, b) == 1
+            # cyclic: last and first also adjacent
+            assert hamming_distance(seq[-1], seq[0]) == 1
+
+
+class TestTransitionSequence:
+    def test_matches_paper_port_pattern(self):
+        # port 0 every other step, port 1 every fourth, ... (§5.2)
+        ts = gray.transition_sequence(4)
+        assert ts[::2] == [0] * 8
+        assert ts[1::4] == [1] * 4
+
+    def test_is_ruler_sequence(self):
+        ts = gray.transition_sequence(3)
+        assert ts == [0, 1, 0, 2, 0, 1, 0]
+
+    def test_matches_sequence_diffs(self):
+        for n in (2, 3, 5):
+            seq = gray.gray_sequence(n)
+            ts = gray.transition_sequence(n)
+            for i, d in enumerate(ts):
+                assert seq[i] ^ seq[i + 1] == 1 << d
+
+
+class TestHamiltonianPath:
+    def test_starts_at_start_and_spans(self):
+        for n in (1, 3, 5):
+            for start in (0, (1 << n) - 1):
+                p = gray.hamiltonian_path(n, start)
+                assert p[0] == start
+                assert sorted(p) == list(range(1 << n))
+                for a, b in zip(p, p[1:]):
+                    assert hamming_distance(a, b) == 1
+
+    def test_bad_start_rejected(self):
+        with pytest.raises(ValueError):
+            gray.hamiltonian_path(3, 8)
+        with pytest.raises(ValueError):
+            gray.hamiltonian_path(3, -1)
+
+    def test_iter_edges(self):
+        edges = list(gray.iter_hamiltonian_edges(2, 0))
+        assert edges == [(0, 1), (1, 3), (3, 2)]

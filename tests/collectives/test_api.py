@@ -1,0 +1,105 @@
+"""Tests for the high-level collective API."""
+
+import pytest
+
+from repro.collectives import (
+    allgather,
+    alltoall_personalized,
+    broadcast,
+    gather,
+    reduce,
+    scatter,
+)
+from repro.sim import IPSC_D7, PortModel
+from repro.topology import Hypercube
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("algo", ["sbt", "msbt", "tcbt", "hp"])
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_all_algorithms_all_models(self, cube4, algo, pm):
+        res = broadcast(cube4, 3, algo, 16, 4, pm)
+        assert res.cycles > 0
+        assert res.algorithm.endswith("broadcast")
+
+    def test_default_packet_is_whole_message(self, cube4):
+        res = broadcast(cube4, 0, "sbt", message_elems=32)
+        assert res.schedule.max_transfer_elems() == 32
+
+    def test_unknown_algorithm_rejected(self, cube4):
+        with pytest.raises(ValueError, match="unknown broadcast"):
+            broadcast(cube4, 0, "bogus")
+
+    def test_event_sim_populates_time(self, cube4):
+        res = broadcast(cube4, 0, "msbt", 16, 4, run_event_sim=True)
+        assert res.async_ is not None
+        assert res.time == res.async_.time
+
+    def test_sync_time_used_without_event_sim(self, cube4):
+        res = broadcast(cube4, 0, "msbt", 16, 4)
+        assert res.async_ is None
+        assert res.time == res.sync.time
+
+    def test_machine_parameters_flow_through(self, cube4):
+        res = broadcast(
+            cube4, 0, "sbt", 2048, 2048,
+            machine=IPSC_D7, run_event_sim=True,
+        )
+        # 4 sequential hops of ceil(2048/1024) startups + 2048 tc
+        per_hop = 2 * IPSC_D7.tau + 2048 * IPSC_D7.t_c
+        assert res.time == pytest.approx(4 * per_hop, rel=0.25)
+
+
+class TestScatter:
+    @pytest.mark.parametrize("algo", ["sbt", "bst", "tcbt"])
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_all_algorithms_all_models(self, cube4, algo, pm):
+        res = scatter(cube4, 5, algo, 4, 8, pm)
+        assert res.cycles > 0
+
+    def test_unknown_algorithm_rejected(self, cube4):
+        with pytest.raises(ValueError, match="unknown scatter"):
+            scatter(cube4, 0, "bogus")
+
+    def test_subtree_order_flag(self, cube4):
+        r1 = scatter(cube4, 0, "bst", 2, 4, subtree_order="depth_first")
+        r2 = scatter(cube4, 0, "bst", 2, 4, subtree_order="reversed_breadth_first")
+        assert r1.schedule.meta["subtree_order"] == "depth_first"
+        assert r2.schedule.meta["subtree_order"] == "reversed_breadth_first"
+
+
+class TestReverseOps:
+    @pytest.mark.parametrize("algo", ["sbt", "bst"])
+    def test_gather(self, cube4, algo):
+        res = gather(cube4, 7, algo, 4, 16)
+        assert res.cycles > 0
+
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_reduce(self, cube4, pm):
+        res = reduce(cube4, 7, 8, 4, pm)
+        assert res.cycles > 0
+
+
+class TestAllToAll:
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_allgather(self, cube4, pm):
+        res = allgather(cube4, 4, pm)
+        assert res.cycles in (4, 8)
+
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_alltoall(self, cube4, pm):
+        res = alltoall_personalized(cube4, 2, pm)
+        assert res.cycles in (4, 8)
+
+
+class TestResultObject:
+    def test_link_stats_and_repr(self, cube4):
+        res = broadcast(cube4, 0, "sbt", 8, 8)
+        assert res.link_stats.total_elems() > 0
+        assert "sbt-broadcast" in repr(res)
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.broadcast is broadcast
+        assert repro.PortModel is PortModel

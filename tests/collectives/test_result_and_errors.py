@@ -1,0 +1,69 @@
+"""Collective API error paths and CollectiveResult behaviour."""
+
+import pytest
+
+from repro.collectives import allreduce, broadcast, scatter
+from repro.collectives.result import CollectiveResult
+from repro.sim import PortModel
+from repro.topology import Hypercube
+
+
+class TestErrorPaths:
+    def test_bad_source_rejected(self, cube4):
+        with pytest.raises(ValueError):
+            broadcast(cube4, 99, "sbt", 4, 4)
+        with pytest.raises(ValueError):
+            scatter(cube4, -1, "bst", 4, 4)
+
+    def test_bad_message_sizes_rejected(self, cube4):
+        with pytest.raises(ValueError):
+            broadcast(cube4, 0, "sbt", 0)
+        with pytest.raises(ValueError):
+            scatter(cube4, 0, "bst", 4, 0)
+
+    def test_bad_subtree_order_rejected(self, cube4):
+        with pytest.raises(ValueError, match="subtree order"):
+            scatter(cube4, 0, "bst", 4, 4, subtree_order="sideways")
+
+    def test_bad_sbt_order_rejected(self, cube4):
+        from repro.routing import sbt_broadcast_schedule
+
+        with pytest.raises(ValueError, match="SBT order"):
+            sbt_broadcast_schedule(cube4, 0, 4, 4, PortModel.ALL_PORT, order="zigzag")
+
+    def test_bad_alltoall_algorithm_rejected(self, cube4):
+        from repro.collectives import alltoall_personalized
+
+        with pytest.raises(ValueError, match="total-exchange"):
+            alltoall_personalized(cube4, 1, algorithm="bogus")
+
+
+class TestAllreduce:
+    def test_two_phases_returned(self, cube4):
+        p1, p2 = allreduce(cube4, 8, 4)
+        assert isinstance(p1, CollectiveResult)
+        assert isinstance(p2, CollectiveResult)
+        assert p1.algorithm == "sbt-reduce"
+        assert "broadcast" in p2.algorithm
+
+    def test_total_time_is_sum(self, cube4):
+        p1, p2 = allreduce(cube4, 8, 4)
+        assert p1.time + p2.time > 0
+
+    def test_broadcast_algorithm_choice(self, cube4):
+        _, p2 = allreduce(cube4, 8, 4, broadcast_algorithm="msbt")
+        assert p2.algorithm == "msbt-broadcast"
+
+
+class TestResultProperties:
+    def test_cycles_and_time_delegation(self, cube4):
+        res = broadcast(cube4, 0, "msbt", 16, 4)
+        assert res.cycles == res.sync.cycles
+        assert res.time == res.sync.time
+        res2 = broadcast(cube4, 0, "msbt", 16, 4, run_event_sim=True)
+        assert res2.time == res2.async_.time
+
+    def test_schedule_meta_preserved(self, cube4):
+        res = scatter(cube4, 3, "bst", 2, 8, PortModel.ALL_PORT)
+        assert res.schedule.meta["source"] == 3
+        assert res.schedule.meta["port_model"] == PortModel.ALL_PORT.value

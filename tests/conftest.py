@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import Hypercube
+
+
+@pytest.fixture(params=[2, 3, 4, 5])
+def cube(request) -> Hypercube:
+    """Cubes of several dimensions for parameterized structural tests."""
+    return Hypercube(request.param)
+
+
+@pytest.fixture
+def cube4() -> Hypercube:
+    """A 4-cube, the workhorse size for routing tests."""
+    return Hypercube(4)
+
+
+@pytest.fixture
+def cube5() -> Hypercube:
+    """A 5-cube for the heavier routing tests."""
+    return Hypercube(5)

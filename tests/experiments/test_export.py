@@ -1,0 +1,38 @@
+"""Tests for CSV/JSON report export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments import run_table1
+from repro.experiments.export import to_csv, to_json, write_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_table1(3)
+
+
+class TestExport:
+    def test_csv_roundtrip(self, report):
+        rows = list(csv.reader(to_csv(report).splitlines()))
+        assert rows[0] == report.headers
+        assert len(rows) == len(report.rows) + 1
+        assert rows[1][0] == "HP"
+
+    def test_json_roundtrip(self, report):
+        doc = json.loads(to_json(report))
+        assert doc["name"].startswith("Table 1")
+        assert doc["headers"] == report.headers
+        assert len(doc["rows"]) == len(report.rows)
+
+    def test_write_csv_and_json(self, report, tmp_path):
+        p1 = write_report(report, tmp_path / "t1.csv")
+        p2 = write_report(report, tmp_path / "t1.json")
+        assert p1.read_text().startswith("algorithm")
+        assert json.loads(p2.read_text())["headers"] == report.headers
+
+    def test_unknown_suffix_rejected(self, report, tmp_path):
+        with pytest.raises(ValueError, match="unsupported"):
+            write_report(report, tmp_path / "t1.xlsx")

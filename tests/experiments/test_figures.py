@@ -1,0 +1,37 @@
+"""Smoke tests for the figure experiments at reduced sizes."""
+
+from repro.experiments import run_fig5, run_fig6, run_fig7, run_fig8
+from repro.sim.machine import IPSC_D7
+
+
+class TestFigureExperiments:
+    def test_fig5_reduced(self):
+        report = run_fig5(dims=(2, 3), packet_sizes=(512, 1024), message_bytes=(2048, 8192))
+        t = {(d, b, m): v for d, b, m, v in report.rows}
+        # time grows with message size, dimension, and smaller packets
+        assert t[(2, 1024, 8192)] > t[(2, 1024, 2048)]
+        assert t[(3, 1024, 8192)] > t[(2, 1024, 8192)]
+        assert t[(2, 512, 8192)] > t[(2, 1024, 8192)]
+
+    def test_fig6_reduced(self):
+        report = run_fig6(dims=(2, 4), message_bytes=8192, packet_bytes=1024)
+        rows = {d: (s, m) for d, s, m in report.rows}
+        assert rows[4][0] > rows[2][0]          # SBT grows with n
+        assert rows[4][1] <= rows[4][0]         # MSBT never slower
+
+    def test_fig7_reduced(self):
+        report = run_fig7(dims=(2, 4), message_bytes=8192, packet_bytes=1024)
+        speedups = {d: s for d, s, _ in report.rows}
+        assert speedups[4] > speedups[2] * 0.95
+        assert speedups[4] > 1.5
+
+    def test_fig8_reduced(self):
+        report = run_fig8(dims=(3, 5), message_bytes=512)
+        rows = {d: (s, b) for d, s, b, _ in report.rows}
+        assert rows[5][0] > rows[3][0]
+        # BST wins at d=5 under the one-port + overlap model
+        assert rows[5][1] < rows[5][0]
+
+    def test_fig8_no_overlap_machine(self):
+        report = run_fig8(dims=(4,), message_bytes=256, machine=IPSC_D7.with_overlap(0.0))
+        assert len(report.rows) == 1

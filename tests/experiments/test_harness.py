@@ -1,0 +1,46 @@
+"""Edge cases of the report harness."""
+
+from repro.experiments.harness import TableReport, format_table, relative_error
+
+
+class TestRelativeError:
+    def test_zero_predicted_uses_floor(self):
+        assert relative_error(3.0, 0.0) == 3.0
+
+    def test_exact(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_small_values(self):
+        import pytest
+
+        assert relative_error(0.5, 0.4) == pytest.approx(0.1)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["col", "x"], [["a", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) <= 2  # header may differ by title
+
+    def test_float_rendering(self):
+        out = format_table(["v"], [[0.0], [1.5], [123456.0], [0.001]])
+        assert "0" in out and "1.5" in out
+        assert "1.23e+05" in out
+        assert "0.001" in out
+
+    def test_title(self):
+        out = format_table(["v"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+
+class TestTableReport:
+    def test_add_and_render(self):
+        r = TableReport("demo", ["a", "b"])
+        r.add(1, 2)
+        r.add(3, 4)
+        assert "demo" in r.render()
+        assert r.max_relative_error(0, 1) == 0.5
+
+    def test_empty_report_renders(self):
+        r = TableReport("empty", ["a"])
+        assert "empty" in r.render()

@@ -1,0 +1,22 @@
+"""Smoke test for the §4.2 T(B) sweep experiment."""
+
+from repro.experiments import run_scatter_packet_sweep
+
+
+class TestScatterSweep:
+    def test_reduced_sweep(self):
+        report = run_scatter_packet_sweep(
+            n=4, M=4, packet_sizes=(2, 4, 1000)
+        )
+        assert len(report.rows) == 3
+        rows = {r[0]: r[1:] for r in report.rows}
+        # SBT improves with B
+        assert rows[1000][0] <= rows[4][0] <= rows[2][0]
+        # at B = M, SBT and BST agree with (N-1)(tau + M tc)
+        assert rows[4][0] == 15 * 5
+        assert abs(rows[4][2] - 15 * 5) <= 0.1 * 15 * 5
+
+    def test_models_close_to_sim_for_sbt(self):
+        report = run_scatter_packet_sweep(n=4, M=4, packet_sizes=(2, 8, 64))
+        for B, sbt_sim, sbt_model, *_ in report.rows:
+            assert abs(sbt_sim - sbt_model) <= 0.15 * sbt_model + 4, B

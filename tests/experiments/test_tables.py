@@ -1,0 +1,59 @@
+"""Smoke tests for the table experiments (small sizes; full sizes run
+in benchmarks/)."""
+
+from repro.experiments import (
+    PAPER_TABLE5,
+    run_table1,
+    run_table2,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+
+class TestTableExperiments:
+    def test_table1_small(self):
+        report = run_table1(3)
+        assert len(report.rows) == 12
+        for algo, pm, measured, paper in report.rows:
+            assert measured == paper, (algo, pm)
+
+    def test_table2_small(self):
+        report = run_table2(3, packets=12)
+        for algo, pm, measured, paper in report.rows:
+            assert abs(float(measured) - float(paper)) < 1e-3
+
+    def test_table4_small(self):
+        report = run_table4(5)
+        assert len(report.rows) == 20
+
+    def test_table5_small(self):
+        report = run_table5(max_n=8, construct_up_to=8)
+        for n, computed, paper, *_ in report.rows:
+            assert computed == paper == PAPER_TABLE5[n]
+
+    def test_table6_small(self):
+        report = run_table6(4, 4)
+        kinds = {row[4] for row in report.rows}
+        assert kinds == {"=", "<="}
+        for algo, pm, measured, paper, kind in report.rows:
+            if kind == "=" and algo == "SBT":
+                assert abs(measured - paper) < 1e-6
+
+
+class TestHarness:
+    def test_report_rendering(self):
+        report = run_table1(2)
+        text = report.render()
+        assert "Table 1" in text
+        assert "SBT" in text
+
+    def test_max_relative_error(self):
+        report = run_table1(3)
+        assert report.max_relative_error(2, 3) == 0.0
+
+    def test_format_table_floats(self):
+        from repro.experiments import format_table
+
+        out = format_table(["a"], [[0.00001], [12345.6], [1.5]])
+        assert "1e-05" in out and "1.5" in out

@@ -1,0 +1,41 @@
+"""Duality of distribution and collection (§1, §4's reverse operations).
+
+Reversing a schedule transposes every link's load and preserves the
+cycle count and lock-step time — gather is exactly as expensive as
+scatter, reduction as broadcast."""
+
+import pytest
+
+from repro.collectives import gather, scatter
+from repro.sim import MachineParams, PortModel
+from repro.topology import DirectedEdge, Hypercube
+
+
+class TestGatherScatterSymmetry:
+    @pytest.mark.parametrize("algo", ["sbt", "bst", "tcbt"])
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_same_cycles_and_time(self, cube4, algo, pm):
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        s = scatter(cube4, 6, algo, 4, 16, pm, machine=machine)
+        g = gather(cube4, 6, algo, 4, 16, pm, machine=machine)
+        assert g.cycles == s.cycles, (algo, pm)
+        assert g.sync.time == pytest.approx(s.sync.time), (algo, pm)
+
+    @pytest.mark.parametrize("algo", ["sbt", "bst"])
+    def test_link_loads_transpose(self, cube4, algo):
+        pm = PortModel.ONE_PORT_FULL
+        s = scatter(cube4, 0, algo, 4, 16, pm)
+        g = gather(cube4, 0, algo, 4, 16, pm)
+        for edge, load in s.link_stats.elems.items():
+            assert g.link_stats.elems[DirectedEdge(edge.dst, edge.src)] == load
+
+    def test_broadcast_reduce_same_cycles(self, cube5):
+        from repro.collectives import broadcast, reduce
+
+        for pm in PortModel:
+            b = broadcast(cube5, 0, "sbt", 12, 4, pm)
+            r = reduce(cube5, 0, 12, 4, pm)
+            # the reduce mirror pipelines one round shallower under
+            # all-port (n + P - 1 vs P + n - 1: identical), equal under
+            # one-port
+            assert r.cycles == b.cycles, pm

@@ -1,0 +1,73 @@
+"""Lock-step times vs the closed-form ``T = steps * (tau + B t_c)``.
+
+Tables 1-3 are about *steps*; this module closes the loop on *time*:
+for uniform packet sizes the simulated lock-step time must equal the
+analytic product exactly.
+"""
+
+import pytest
+
+from repro.analysis import broadcast_model
+from repro.collectives import broadcast
+from repro.sim import MachineParams, PortModel
+from repro.topology import Hypercube
+
+
+class TestBroadcastTimeAgreement:
+    @pytest.mark.parametrize("algo", ["sbt", "msbt"])
+    @pytest.mark.parametrize("pm", list(PortModel))
+    @pytest.mark.parametrize("tau,tc", [(1.0, 1.0), (8.0, 0.5)])
+    def test_lockstep_time_equals_model(self, algo, pm, tau, tc):
+        n, B = 4, 4
+        M = 48  # divisible by B and by n*B: every packet is exactly B
+        cube = Hypercube(n)
+        machine = MachineParams(tau=tau, t_c=tc)
+        res = broadcast(cube, 0, algo, M, B, pm, machine=machine)
+        model = broadcast_model(algo, pm)
+        expected = model.steps(M, B, n) * (tau + B * tc)
+        assert res.sync.time == pytest.approx(expected), (algo, pm)
+
+    def test_uneven_final_packet_costs_less(self):
+        # M not divisible by B: the final round carries a smaller packet
+        cube = Hypercube(3)
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        full = broadcast(cube, 0, "sbt", 12, 4, PortModel.ONE_PORT_FULL, machine=machine)
+        ragged = broadcast(cube, 0, "sbt", 10, 4, PortModel.ONE_PORT_FULL, machine=machine)
+        assert ragged.sync.time < full.sync.time
+        assert ragged.cycles == full.cycles
+
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_msbt_beats_sbt_time_for_many_packets(self, pm):
+        cube = Hypercube(5)
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        M, B = 320, 4
+        t_sbt = broadcast(cube, 0, "sbt", M, B, pm, machine=machine).sync.time
+        t_msbt = broadcast(cube, 0, "msbt", M, B, pm, machine=machine).sync.time
+        assert t_msbt < t_sbt
+
+
+class TestAsyncVsLockstepOnIpsc:
+    def test_async_within_lockstep_bound_msbt(self):
+        from repro.sim import IPSC_D7
+
+        cube = Hypercube(5)
+        res = broadcast(
+            cube, 0, "msbt", 30720, 1024, PortModel.ONE_PORT_FULL,
+            machine=IPSC_D7.with_overlap(0.0), run_event_sim=True,
+        )
+        assert res.async_ is not None
+        assert res.async_.time <= res.sync.time * 1.001
+
+    def test_overlap_only_helps(self):
+        from repro.sim import IPSC_D7
+
+        cube = Hypercube(4)
+        base = broadcast(
+            cube, 0, "msbt", 8192, 1024, PortModel.ONE_PORT_FULL,
+            machine=IPSC_D7.with_overlap(0.0), run_event_sim=True,
+        ).time
+        faster = broadcast(
+            cube, 0, "msbt", 8192, 1024, PortModel.ONE_PORT_FULL,
+            machine=IPSC_D7, run_event_sim=True,
+        ).time
+        assert faster <= base * 1.001

@@ -1,0 +1,95 @@
+"""Property-based tests for the bit-manipulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import (
+    base,
+    canonical_rotation,
+    from_bits,
+    generator_set,
+    gray_code,
+    gray_decode,
+    hamming_distance,
+    period,
+    popcount,
+    rotate_left,
+    rotate_right,
+    to_bits,
+)
+
+dims = st.integers(min_value=1, max_value=16)
+
+
+@st.composite
+def word(draw):
+    n = draw(dims)
+    x = draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    return n, x
+
+
+class TestRotationProperties:
+    @given(word(), st.integers(min_value=0, max_value=40))
+    def test_rotation_composes(self, nx, s):
+        n, x = nx
+        assert rotate_right(rotate_right(x, s, n), n - (s % n), n) == x
+
+    @given(word(), st.integers(min_value=0, max_value=40), st.integers(min_value=0, max_value=40))
+    def test_rotation_additive(self, nx, a, b):
+        n, x = nx
+        assert rotate_right(rotate_right(x, a, n), b, n) == rotate_right(x, a + b, n)
+
+    @given(word())
+    def test_left_right_inverse(self, nx):
+        n, x = nx
+        assert rotate_left(rotate_right(x, 1, n), 1, n) == x
+
+    @given(word(), st.integers(min_value=0, max_value=40))
+    def test_popcount_invariant(self, nx, s):
+        n, x = nx
+        assert popcount(rotate_right(x, s, n)) == popcount(x)
+
+
+class TestNecklaceProperties:
+    @given(word())
+    def test_canonical_is_least_member(self, nx):
+        n, x = nx
+        members = generator_set(x, n)
+        assert canonical_rotation(x, n) == min(members)
+
+    @given(word())
+    def test_all_members_share_canonical(self, nx):
+        n, x = nx
+        canon = canonical_rotation(x, n)
+        for m in generator_set(x, n):
+            assert canonical_rotation(m, n) == canon
+
+    @given(word())
+    def test_base_bounded_by_period(self, nx):
+        n, x = nx
+        assert 0 <= base(x, n) < period(x, n)
+
+    @given(word())
+    def test_rotating_by_base_reaches_canonical(self, nx):
+        n, x = nx
+        assert rotate_right(x, base(x, n), n) == canonical_rotation(x, n)
+
+
+class TestEncodingProperties:
+    @given(word())
+    def test_bits_roundtrip(self, nx):
+        n, x = nx
+        assert from_bits(to_bits(x, n)) == x
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    def test_gray_roundtrip(self, i):
+        assert gray_decode(gray_code(i)) == i
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    def test_gray_neighbors_differ_by_one_bit(self, i):
+        assert hamming_distance(gray_code(i), gray_code(i + 1)) == 1
+
+    @given(word())
+    def test_popcount_equals_bit_sum(self, nx):
+        n, x = nx
+        assert popcount(x) == sum(to_bits(x, n))

@@ -1,0 +1,91 @@
+"""Property-based agreement between the analytic models and simulation.
+
+Random parameter draws; for every draw the simulated lock-step step
+counts must equal (SBT/MSBT broadcasting) or closely track (scatter)
+the closed forms — the strongest form of Table 3/6 reproduction.
+"""
+
+from math import ceil
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.models import broadcast_model, personalized_time_one_port
+from repro.collectives.api import broadcast, scatter
+from repro.sim import MachineParams, PortModel
+from repro.topology import Hypercube
+
+dims = st.integers(min_value=2, max_value=5)
+
+
+@st.composite
+def bcast_params(draw):
+    n = draw(dims)
+    B = draw(st.integers(min_value=1, max_value=16))
+    packets = draw(st.integers(min_value=1, max_value=20))
+    M = B * packets - draw(st.integers(min_value=0, max_value=B - 1))
+    pm = draw(st.sampled_from(list(PortModel)))
+    return n, M, B, pm
+
+
+class TestBroadcastStepAgreement:
+    @settings(max_examples=50, deadline=None)
+    @given(bcast_params(), st.sampled_from(["sbt", "msbt"]))
+    def test_steps_match_model(self, params, algo):
+        n, M, B, pm = params
+        if algo == "msbt" and ceil(M / B) == 1 and pm is not PortModel.ALL_PORT:
+            return  # single-packet MSBT is the 2logN special case
+        cube = Hypercube(n)
+        res = broadcast(cube, 0, algo, M, B, pm)
+        model = broadcast_model(algo, pm).steps(M, B, n)
+        slack = n if (algo == "msbt" and pm is PortModel.ONE_PORT_HALF) else 0
+        assert model - slack <= res.cycles <= model, (params, algo)
+
+
+@st.composite
+def scatter_params(draw):
+    n = draw(st.integers(min_value=3, max_value=5))
+    M = draw(st.integers(min_value=1, max_value=8))
+    B = draw(st.sampled_from([None, 1, 2, "M", "big"]))
+    if B is None:
+        B = draw(st.integers(min_value=1, max_value=M))
+    elif B == "M":
+        B = M
+    elif B == "big":
+        B = (1 << n) * M
+    return n, M, B
+
+
+class TestScatterTimeAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(scatter_params())
+    def test_sbt_one_port_tracks_t_of_b(self, params):
+        n, M, B = params
+        cube = Hypercube(n)
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        res = scatter(cube, 0, "sbt", M, B, PortModel.ONE_PORT_FULL, machine=machine)
+        model = personalized_time_one_port("sbt", n, M, B, 1.0, 1.0)
+        # the §4.2 forms are approximations ("~"); 15% + constant slack
+        assert abs(res.sync.time - model) <= 0.15 * model + n + 2, params
+
+    @settings(max_examples=40, deadline=None)
+    @given(scatter_params())
+    def test_scatter_never_beats_source_bound(self, params):
+        # no schedule can beat the source's own injection time
+        n, M, B = params
+        cube = Hypercube(n)
+        machine = MachineParams(tau=0.0, t_c=1.0)
+        for algo in ("sbt", "bst"):
+            res = scatter(cube, 0, algo, M, B, PortModel.ONE_PORT_FULL, machine=machine)
+            assert res.sync.time >= (cube.num_nodes - 1) * M - 1e-9, (params, algo)
+
+    @settings(max_examples=30, deadline=None)
+    @given(scatter_params())
+    def test_all_port_scatter_beats_one_port(self, params):
+        n, M, B = params
+        cube = Hypercube(n)
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        for algo in ("sbt", "bst"):
+            one = scatter(cube, 0, algo, M, B, PortModel.ONE_PORT_FULL, machine=machine)
+            allp = scatter(cube, 0, algo, M, B, PortModel.ALL_PORT, machine=machine)
+            assert allp.sync.time <= one.sync.time + 1e-9, (params, algo)

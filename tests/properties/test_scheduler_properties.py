@@ -1,0 +1,116 @@
+"""Property-based tests for the greedy list scheduler and transforms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import greedy_partition, list_schedule, split_oversized
+from repro.sim import PortModel, Schedule, Transfer
+from repro.sim.synchronous import run_synchronous
+from repro.topology import Hypercube
+
+
+@st.composite
+def random_fanout_case(draw):
+    """A random multi-hop fan-out from node 0 over a small cube."""
+    n = draw(st.integers(min_value=2, max_value=4))
+    cube = Hypercube(n)
+    n_chunks = draw(st.integers(min_value=1, max_value=6))
+    chunk_sizes = {
+        ("c", i): draw(st.integers(min_value=1, max_value=8))
+        for i in range(n_chunks)
+    }
+    # random simple paths from 0, one per chunk
+    transfers = []
+    for i in range(n_chunks):
+        hops = draw(st.integers(min_value=1, max_value=n))
+        node = 0
+        dims = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=hops, max_size=hops, unique=True,
+            )
+        )
+        for d in dims:
+            nxt = node ^ (1 << d)
+            transfers.append(Transfer(node, nxt, frozenset({("c", i)})))
+            node = nxt
+    pm = draw(st.sampled_from(list(PortModel)))
+    return cube, transfers, chunk_sizes, pm
+
+
+class TestListScheduleProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_fanout_case())
+    def test_output_is_always_valid_and_complete(self, case):
+        cube, transfers, chunk_sizes, pm = case
+        sched = list_schedule(
+            cube, transfers, chunk_sizes, pm, {0: set(chunk_sizes)}
+        )
+        # executing under the same model must validate and deliver the
+        # final hops' chunks
+        res = run_synchronous(cube, sched, pm, {0: set(chunk_sizes)})
+        assert sched.num_transfers == len(transfers)
+        for t in transfers:
+            assert t.chunks <= res.holdings[t.dst]
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_fanout_case())
+    def test_all_port_never_more_rounds_than_one_port(self, case):
+        cube, transfers, chunk_sizes, _ = case
+        r_all = list_schedule(
+            cube, transfers, chunk_sizes, PortModel.ALL_PORT, {0: set(chunk_sizes)}
+        ).num_rounds
+        r_one = list_schedule(
+            cube, transfers, chunk_sizes, PortModel.ONE_PORT_HALF, {0: set(chunk_sizes)}
+        ).num_rounds
+        assert r_all <= r_one
+
+
+class TestSplitProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=10),
+        st.integers(min_value=1, max_value=25),
+    )
+    def test_partition_conserves_and_bounds(self, sizes_list, limit):
+        sizes = {("c", i): s for i, s in enumerate(sizes_list)}
+        bins = greedy_partition(list(sizes), sizes, limit)
+        flat = [c for b in bins for c in b]
+        assert sorted(flat) == sorted(sizes)
+        for b in bins:
+            total = sum(sizes[c] for c in b)
+            assert total <= limit or len(b) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=10), min_size=1, max_size=8),
+        st.integers(min_value=4, max_value=30),
+    )
+    def test_split_oversized_preserves_payload(self, sizes_list, limit):
+        cube = Hypercube(2)
+        sizes = {("c", i): s for i, s in enumerate(sizes_list)}
+        sched = Schedule(
+            rounds=[(Transfer(0, 1, frozenset(sizes)),)],
+            chunk_sizes=sizes,
+        )
+        out = split_oversized(sched, limit)
+        delivered = set()
+        for r in out.rounds:
+            for t in r:
+                assert (t.src, t.dst) == (0, 1)
+                delivered |= t.chunks
+        assert delivered == set(sizes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=8),
+    )
+    def test_split_is_identity_when_under_limit(self, sizes_list):
+        sizes = {("c", i): s for i, s in enumerate(sizes_list)}
+        sched = Schedule(
+            rounds=[(Transfer(0, 1, frozenset(sizes)),)],
+            chunk_sizes=sizes,
+        )
+        out = split_oversized(sched, sum(sizes_list))
+        assert out.num_rounds == 1
+        assert out.rounds[0][0].chunks == frozenset(sizes)

@@ -1,0 +1,89 @@
+"""Property-based tests on the cube graph itself."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.ops import hamming_distance, popcount
+from repro.topology import Hypercube
+
+dims = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def cube_pair(draw):
+    n = draw(dims)
+    a = draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    b = draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    return Hypercube(n), a, b
+
+
+class TestMetricProperties:
+    @given(cube_pair())
+    def test_distance_is_a_metric(self, cab):
+        cube, a, b = cab
+        d = cube.distance(a, b)
+        assert d == cube.distance(b, a)
+        assert (d == 0) == (a == b)
+        assert d <= cube.dimension
+
+    @given(cube_pair(), st.data())
+    def test_triangle_inequality(self, cab, data):
+        cube, a, b = cab
+        c = data.draw(st.integers(min_value=0, max_value=cube.num_nodes - 1))
+        assert cube.distance(a, b) <= cube.distance(a, c) + cube.distance(c, b)
+
+    @given(cube_pair())
+    def test_shortest_path_has_distance_hops(self, cab):
+        cube, a, b = cab
+        path = cube.shortest_path(a, b)
+        assert len(path) - 1 == cube.distance(a, b)
+        for x, y in zip(path, path[1:]):
+            assert cube.are_adjacent(x, y)
+
+    @given(cube_pair())
+    def test_translation_preserves_distance(self, cab):
+        cube, a, b = cab
+        t = cube.num_nodes - 1
+        assert cube.distance(a ^ t, b ^ t) == cube.distance(a, b)
+
+
+class TestDisjointPathProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(cube_pair())
+    def test_n_disjoint_paths_everywhere(self, cab):
+        cube, a, b = cab
+        if a == b:
+            return
+        paths = cube.disjoint_paths(a, b)
+        assert len(paths) == cube.dimension
+        d = cube.distance(a, b)
+        interiors = []
+        for p in paths:
+            assert p[0] == a and p[-1] == b
+            assert len(p) - 1 in (d, d + 2)
+            for x, y in zip(p, p[1:]):
+                assert cube.are_adjacent(x, y)
+            interiors.append(set(p[1:-1]))
+        for i in range(len(interiors)):
+            for j in range(i + 1, len(interiors)):
+                assert not interiors[i] & interiors[j]
+
+
+class TestSphereProperties:
+    @given(dims, st.data())
+    def test_spheres_partition_the_cube(self, n, data):
+        cube = Hypercube(n)
+        center = data.draw(st.integers(min_value=0, max_value=cube.num_nodes - 1))
+        seen = set()
+        for d in range(n + 1):
+            shell = cube.nodes_at_distance(center, d)
+            assert not (set(shell) & seen)
+            seen |= set(shell)
+        assert seen == set(cube.nodes())
+
+    @given(cube_pair())
+    def test_neighbors_differ_in_exactly_one_bit(self, cab):
+        cube, a, _ = cab
+        for v in cube.neighbors(a):
+            assert popcount(a ^ v) == 1
+            assert hamming_distance(a, v) == 1

@@ -1,0 +1,143 @@
+"""Property-based tests on the spanning-tree invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.ops import popcount
+from repro.topology import Hypercube
+from repro.trees import (
+    BalancedSpanningTree,
+    HamiltonianPathTree,
+    SpanningBinomialTree,
+    TwoRootedCompleteBinaryTree,
+    bst_parent,
+    ersbt_children,
+    ersbt_parent,
+    msbt_label,
+    sbt_children,
+    sbt_parent,
+)
+
+dims = st.integers(min_value=2, max_value=7)
+
+
+@st.composite
+def cube_node_source(draw):
+    n = draw(dims)
+    node = draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    source = draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    return n, node, source
+
+
+class TestSbtProperties:
+    @given(cube_node_source())
+    def test_parent_children_consistent(self, args):
+        n, node, s = args
+        p = sbt_parent(node, s, n)
+        if p is not None:
+            assert node in sbt_children(p, s, n)
+        for c in sbt_children(node, s, n):
+            assert sbt_parent(c, s, n) == node
+
+    @given(cube_node_source())
+    def test_parent_reduces_level(self, args):
+        n, node, s = args
+        p = sbt_parent(node, s, n)
+        if p is not None:
+            assert popcount(p ^ s) == popcount(node ^ s) - 1
+
+    @given(cube_node_source())
+    def test_parent_chain_reaches_source(self, args):
+        n, node, s = args
+        hops = 0
+        while node != s:
+            parent = sbt_parent(node, s, n)
+            assert parent is not None
+            node = parent
+            hops += 1
+            assert hops <= n
+
+
+class TestErsbtProperties:
+    @given(cube_node_source(), st.data())
+    def test_parent_children_consistent(self, args, data):
+        n, node, s = args
+        j = data.draw(st.integers(min_value=0, max_value=n - 1))
+        p = ersbt_parent(node, j, s, n)
+        if p is not None:
+            assert node in ersbt_children(p, j, s, n)
+        for c in ersbt_children(node, j, s, n):
+            assert ersbt_parent(c, j, s, n) == node
+
+    @given(cube_node_source(), st.data())
+    def test_labels_increase_toward_leaves(self, args, data):
+        n, node, s = args
+        j = data.draw(st.integers(min_value=0, max_value=n - 1))
+        lab = msbt_label(node, j, s, n)
+        for c in ersbt_children(node, j, s, n):
+            child_lab = msbt_label(c, j, s, n)
+            assert child_lab is not None
+            if lab is not None:
+                assert child_lab > lab
+
+    @given(cube_node_source(), st.data())
+    def test_labels_in_range(self, args, data):
+        n, node, s = args
+        j = data.draw(st.integers(min_value=0, max_value=n - 1))
+        lab = msbt_label(node, j, s, n)
+        if node == s:
+            assert lab is None
+        else:
+            assert 0 <= lab <= 2 * n - 1
+
+
+class TestBstProperties:
+    @given(cube_node_source())
+    def test_parent_chain_reaches_source(self, args):
+        n, node, s = args
+        hops = 0
+        while node != s:
+            parent = bst_parent(node, s, n)
+            assert parent is not None
+            assert popcount(parent ^ node) == 1  # always a cube edge
+            node = parent
+            hops += 1
+            assert hops <= n
+
+    @given(cube_node_source())
+    def test_parent_reduces_weight(self, args):
+        n, node, s = args
+        p = bst_parent(node, s, n)
+        if p is not None:
+            assert popcount(p ^ s) == popcount(node ^ s) - 1
+
+
+class TestWholeTreeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(dims, st.data())
+    def test_all_trees_span(self, n, data):
+        cube = Hypercube(n)
+        root = data.draw(st.integers(min_value=0, max_value=cube.num_nodes - 1))
+        for cls in (
+            SpanningBinomialTree,
+            BalancedSpanningTree,
+            TwoRootedCompleteBinaryTree,
+            HamiltonianPathTree,
+        ):
+            tree = cls(cube, root)
+            tree.validate()
+            assert len(tree.levels) == cube.num_nodes
+            assert len(tree.edges()) == cube.num_nodes - 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(dims, st.data())
+    def test_translation_equivariance(self, n, data):
+        # tree(s) is the XOR-translate of tree(0) for SBT and BST
+        cube = Hypercube(n)
+        s = data.draw(st.integers(min_value=0, max_value=cube.num_nodes - 1))
+        for cls in (SpanningBinomialTree, BalancedSpanningTree):
+            t0 = cls(cube, 0)
+            ts = cls(cube, s)
+            for v in cube.nodes():
+                p0 = t0.parent(v)
+                assert ts.parent(v ^ s) == (None if p0 is None else p0 ^ s)

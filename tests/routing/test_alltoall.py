@@ -1,0 +1,98 @@
+"""Integration tests for the all-to-all extensions."""
+
+import pytest
+
+from repro.routing import (
+    allgather_initial_holdings,
+    allgather_schedule,
+    alltoall_initial_holdings,
+    alltoall_personalized_schedule,
+)
+from repro.sim import MachineParams, PortModel, run_synchronous
+from repro.topology import Hypercube
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_everyone_gets_everything(self, cube4, pm):
+        s = allgather_schedule(cube4, 3, pm)
+        res = run_synchronous(cube4, s, pm, allgather_initial_holdings(cube4))
+        for v in cube4.nodes():
+            assert len(res.holdings[v]) == cube4.num_nodes
+
+    def test_full_duplex_takes_log_n_steps(self, cube5):
+        s = allgather_schedule(cube5, 2, PortModel.ONE_PORT_FULL)
+        res = run_synchronous(
+            cube5, s, PortModel.ONE_PORT_FULL, allgather_initial_holdings(cube5)
+        )
+        assert res.cycles == 5
+
+    def test_half_duplex_doubles_steps(self, cube5):
+        s = allgather_schedule(cube5, 2, PortModel.ONE_PORT_HALF)
+        res = run_synchronous(
+            cube5, s, PortModel.ONE_PORT_HALF, allgather_initial_holdings(cube5)
+        )
+        assert res.cycles == 10
+
+    def test_payload_doubles_each_step(self, cube4):
+        s = allgather_schedule(cube4, 1, PortModel.ONE_PORT_FULL)
+        per_round_sizes = [
+            {len(t.chunks) for t in r} for r in s.rounds
+        ]
+        assert per_round_sizes == [{1}, {2}, {4}, {8}]
+
+    def test_time_matches_closed_form(self, cube4):
+        # sum over steps of (tau + 2^t M tc) = n tau + (N-1) M tc
+        M = 4
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        s = allgather_schedule(cube4, M, PortModel.ONE_PORT_FULL)
+        res = run_synchronous(
+            cube4, s, PortModel.ONE_PORT_FULL,
+            allgather_initial_holdings(cube4), machine,
+        )
+        assert res.time == pytest.approx(4 + 15 * M)
+
+    def test_bad_message_size_rejected(self, cube4):
+        with pytest.raises(ValueError):
+            allgather_schedule(cube4, 0, PortModel.ALL_PORT)
+
+
+class TestAlltoallPersonalized:
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_total_exchange_completes(self, cube4, pm):
+        s = alltoall_personalized_schedule(cube4, 2, pm)
+        res = run_synchronous(cube4, s, pm, alltoall_initial_holdings(cube4))
+        for v in cube4.nodes():
+            mine = {c for c in res.holdings[v] if c[2] == v}
+            assert len(mine) == cube4.num_nodes - 1
+
+    def test_constant_volume_per_step(self, cube4):
+        # every node ships exactly N/2 messages per step
+        M = 3
+        s = alltoall_personalized_schedule(cube4, M, PortModel.ONE_PORT_FULL)
+        for r in s.rounds:
+            for t in r:
+                assert len(t.chunks) == cube4.num_nodes // 2
+
+    def test_full_duplex_takes_log_n_steps(self, cube5):
+        s = alltoall_personalized_schedule(cube5, 1, PortModel.ONE_PORT_FULL)
+        res = run_synchronous(
+            cube5, s, PortModel.ONE_PORT_FULL, alltoall_initial_holdings(cube5)
+        )
+        assert res.cycles == 5
+
+    def test_time_matches_closed_form(self, cube4):
+        # n steps of (tau + N/2 M tc)
+        M = 4
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        s = alltoall_personalized_schedule(cube4, M, PortModel.ONE_PORT_FULL)
+        res = run_synchronous(
+            cube4, s, PortModel.ONE_PORT_FULL,
+            alltoall_initial_holdings(cube4), machine,
+        )
+        assert res.time == pytest.approx(4 * (1 + 8 * M))
+
+    def test_uses_every_link_every_step(self, cube4):
+        s = alltoall_personalized_schedule(cube4, 1, PortModel.ONE_PORT_FULL)
+        for t_round, r in enumerate(s.rounds):
+            assert len(r) == cube4.num_nodes  # one send per node per step

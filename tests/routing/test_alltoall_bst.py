@@ -1,0 +1,84 @@
+"""Tests for the N-translated-BST total exchange (the [8] extension)."""
+
+import pytest
+
+from repro.routing.alltoall import (
+    alltoall_bst_schedule,
+    alltoall_initial_holdings,
+    alltoall_personalized_schedule,
+)
+from repro.sim import MachineParams, PortModel, run_synchronous
+from repro.topology import Hypercube
+from repro.trees import BalancedSpanningTree
+
+
+def _run(cube, sched, machine=None):
+    res = run_synchronous(
+        cube, sched, PortModel.ALL_PORT, alltoall_initial_holdings(cube), machine
+    )
+    for v in cube.nodes():
+        got = {c for c in res.holdings[v] if c[2] == v}
+        assert len(got) == cube.num_nodes - 1, v
+    return res
+
+
+class TestAlltoallBst:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_total_exchange_completes(self, n):
+        cube = Hypercube(n)
+        _run(cube, alltoall_bst_schedule(cube, 3))
+
+    def test_takes_height_steps(self, cube4):
+        sched = alltoall_bst_schedule(cube4, 1)
+        res = _run(cube4, sched)
+        assert res.cycles == BalancedSpanningTree(cube4).height
+
+    def test_messages_follow_translated_bst_paths(self, cube4):
+        sched = alltoall_bst_schedule(cube4, 1)
+        trees = {s: BalancedSpanningTree(cube4, s) for s in cube4.nodes()}
+        edge_sets = {
+            s: {(e.src, e.dst) for e in t.edges()} for s, t in trees.items()
+        }
+        for r in sched.rounds:
+            for t in r:
+                for chunk in t.chunks:
+                    s = chunk[1]
+                    assert (t.src, t.dst) in edge_sets[s], (s, t)
+
+    def test_every_link_carries_traffic(self, cube4):
+        # the point of the construction: all N log N directed links work
+        sched = alltoall_bst_schedule(cube4, 1)
+        res = _run(cube4, sched)
+        assert len(res.link_stats.elems) == cube4.num_directed_edges
+
+    def test_beats_dimension_exchange_by_about_log_n(self):
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        for n, min_speedup in ((4, 2.2), (5, 3.0)):
+            cube = Hypercube(n)
+            M = 4
+            t_bst = _run(cube, alltoall_bst_schedule(cube, M), machine).time
+            dimex = alltoall_personalized_schedule(cube, M, PortModel.ONE_PORT_FULL)
+            res_d = run_synchronous(
+                cube, dimex, PortModel.ONE_PORT_FULL,
+                alltoall_initial_holdings(cube), machine,
+            )
+            assert res_d.time / t_bst > min_speedup, n
+
+    def test_near_bandwidth_lower_bound(self):
+        # each node receives (N-1)M over n ports: time >= (N-1)M/n t_c;
+        # the schedule should land within ~2x of it
+        n, M = 5, 4
+        cube = Hypercube(n)
+        machine = MachineParams(tau=0.0, t_c=1.0)
+        t = _run(cube, alltoall_bst_schedule(cube, M), machine).time
+        bound = (cube.num_nodes - 1) * M / n
+        assert t <= 4 * bound
+
+    def test_packet_splitting(self, cube4):
+        sched = alltoall_bst_schedule(cube4, 4, packet_elems=8)
+        assert sched.max_transfer_elems() <= 8
+        _run(cube4, sched)
+
+    def test_bad_message_rejected(self, cube4):
+        with pytest.raises(ValueError):
+            alltoall_bst_schedule(cube4, 0)

@@ -1,0 +1,179 @@
+"""Integration tests: broadcast schedules vs the paper's step counts.
+
+Every schedule is executed on the lock-step engine, which validates the
+port-model constraints and causality; delivery completeness and cycle
+counts are asserted here.
+"""
+
+from math import ceil
+
+import pytest
+
+from repro.routing import (
+    msbt_broadcast_schedule,
+    sbt_broadcast_schedule,
+    tree_broadcast_schedule,
+)
+from repro.sim import PortModel, run_synchronous
+from repro.topology import Hypercube
+from repro.trees import (
+    HamiltonianPathTree,
+    SpanningBinomialTree,
+    TwoRootedCompleteBinaryTree,
+)
+
+
+def run_broadcast(cube, sched, pm):
+    init = {sched.meta.get("source", 0): set(sched.chunk_sizes)}
+    res = run_synchronous(cube, sched, pm, init)
+    want = set(sched.chunk_sizes)
+    for v in cube.nodes():
+        assert res.holdings[v] >= want, f"node {v} missing data"
+    return res
+
+
+class TestSbtBroadcast:
+    @pytest.mark.parametrize("pm", list(PortModel))
+    @pytest.mark.parametrize("source", [0, 11])
+    def test_delivers(self, cube4, pm, source):
+        sched = sbt_broadcast_schedule(cube4, source, 20, 4, pm)
+        run_broadcast(cube4, sched, pm)
+
+    @pytest.mark.parametrize("M,B", [(1, 1), (10, 3), (64, 8)])
+    def test_one_port_steps(self, cube4, M, B):
+        for pm in (PortModel.ONE_PORT_HALF, PortModel.ONE_PORT_FULL):
+            sched = sbt_broadcast_schedule(cube4, 0, M, B, pm)
+            res = run_broadcast(cube4, sched, pm)
+            assert res.cycles == ceil(M / B) * 4  # ceil(M/B) log N
+
+    @pytest.mark.parametrize("M,B", [(1, 1), (10, 3), (64, 8)])
+    def test_all_port_steps(self, cube4, M, B):
+        sched = sbt_broadcast_schedule(cube4, 0, M, B, PortModel.ALL_PORT)
+        res = run_broadcast(cube4, sched, PortModel.ALL_PORT)
+        assert res.cycles == ceil(M / B) + 4 - 1  # ceil(M/B) + log N - 1
+
+    def test_edges_are_sbt_edges(self, cube4):
+        tree = SpanningBinomialTree(cube4, 6)
+        tree_edges = {(e.src, e.dst) for e in tree.edges()}
+        for pm in PortModel:
+            sched = sbt_broadcast_schedule(cube4, 6, 12, 4, pm)
+            for r in sched.rounds:
+                for t in r:
+                    assert (t.src, t.dst) in tree_edges
+
+    def test_bad_args_rejected(self, cube4):
+        with pytest.raises(ValueError):
+            sbt_broadcast_schedule(cube4, 0, 0, 1, PortModel.ALL_PORT)
+        with pytest.raises(ValueError):
+            sbt_broadcast_schedule(cube4, 0, 4, 0, PortModel.ALL_PORT)
+        with pytest.raises(ValueError):
+            sbt_broadcast_schedule(cube4, 99, 4, 2, PortModel.ALL_PORT)
+
+    @pytest.mark.parametrize("order", ["port", "packet"])
+    def test_both_one_port_orders_valid_and_equal_cycles(self, cube4, order):
+        sched = sbt_broadcast_schedule(
+            cube4, 3, 12, 3, PortModel.ONE_PORT_FULL, order=order
+        )
+        res = run_broadcast(cube4, sched, PortModel.ONE_PORT_FULL)
+        assert res.cycles == 4 * 4  # ceil(M/B) * log N either way
+
+    def test_packet_order_reaches_all_nodes_sooner(self, cube4):
+        def first_full_coverage(sched):
+            seen = {0}
+            for ri, r in enumerate(sched.rounds):
+                seen |= {t.dst for t in r}
+                if len(seen) == cube4.num_nodes:
+                    return ri
+            raise AssertionError("never covered the cube")
+
+        port = sbt_broadcast_schedule(cube4, 0, 16, 2, PortModel.ONE_PORT_FULL, "port")
+        packet = sbt_broadcast_schedule(cube4, 0, 16, 2, PortModel.ONE_PORT_FULL, "packet")
+        assert first_full_coverage(packet) < first_full_coverage(port)
+
+
+class TestMsbtBroadcast:
+    @pytest.mark.parametrize("pm", list(PortModel))
+    @pytest.mark.parametrize("source", [0, 7])
+    def test_delivers(self, cube4, pm, source):
+        sched = msbt_broadcast_schedule(cube4, source, 24, 4, pm)
+        run_broadcast(cube4, sched, pm)
+
+    @pytest.mark.parametrize("n,M,B", [(3, 12, 2), (4, 24, 4), (5, 40, 8)])
+    def test_full_duplex_meets_lower_bound(self, n, M, B):
+        # the headline: ceil(M/B) + log N routing steps (for M/B > 1)
+        cube = Hypercube(n)
+        sched = msbt_broadcast_schedule(cube, 0, M, B, PortModel.ONE_PORT_FULL)
+        res = run_broadcast(cube, sched, PortModel.ONE_PORT_FULL)
+        assert res.cycles == ceil(M / B) + n
+
+    @pytest.mark.parametrize("n,M,B", [(3, 12, 2), (4, 24, 4)])
+    def test_half_duplex_meets_bound(self, n, M, B):
+        cube = Hypercube(n)
+        sched = msbt_broadcast_schedule(cube, 0, M, B, PortModel.ONE_PORT_HALF)
+        res = run_broadcast(cube, sched, PortModel.ONE_PORT_HALF)
+        assert res.cycles <= 2 * ceil(M / B) + n - 1
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_all_port_meets_bound(self, n):
+        cube = Hypercube(n)
+        M, B = 8 * n, 2
+        sched = msbt_broadcast_schedule(cube, 0, M, B, PortModel.ALL_PORT)
+        res = run_broadcast(cube, sched, PortModel.ALL_PORT)
+        assert res.cycles == ceil(M / (B * n)) + n
+
+    def test_balanced_link_usage(self, cube4):
+        # MSBT spreads the message over all root ports evenly
+        sched = msbt_broadcast_schedule(cube4, 0, 64, 4, PortModel.ONE_PORT_FULL)
+        res = run_broadcast(cube4, sched, PortModel.ONE_PORT_FULL)
+        loads = res.link_stats.port_elems(0)
+        assert len(loads) == 4
+        assert max(loads.values()) == min(loads.values())
+
+    def test_sbt_pushes_everything_down_each_port(self, cube4):
+        # contrast: SBT sends the full message over every root port
+        sched = sbt_broadcast_schedule(cube4, 0, 64, 4, PortModel.ONE_PORT_FULL)
+        res = run_broadcast(cube4, sched, PortModel.ONE_PORT_FULL)
+        loads = res.link_stats.port_elems(0)
+        assert all(v == 64 for v in loads.values())
+
+
+class TestGenericTreeBroadcast:
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_tcbt_delivers(self, cube4, pm):
+        tree = TwoRootedCompleteBinaryTree(cube4, 3)
+        sched = tree_broadcast_schedule(tree, 20, 4, pm)
+        sched.meta["source"] = 3
+        run_broadcast(cube4, sched, pm)
+
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_hp_delivers(self, cube4, pm):
+        tree = HamiltonianPathTree(cube4, 9)
+        sched = tree_broadcast_schedule(tree, 20, 4, pm)
+        sched.meta["source"] = 9
+        run_broadcast(cube4, sched, pm)
+
+    def test_hp_pipelines_full_duplex(self, cube5):
+        # ceil(M/B) + N - 2 rounds: one new packet per cycle down the path
+        tree = HamiltonianPathTree(cube5, 0)
+        P = 8
+        sched = tree_broadcast_schedule(tree, P, 1, PortModel.ONE_PORT_FULL)
+        res = run_broadcast(cube5, sched, PortModel.ONE_PORT_FULL)
+        assert res.cycles == P + cube5.num_nodes - 2
+
+    def test_tcbt_one_port_matches_table3(self, cube5):
+        # 3 ceil(M/B) + 2 log N - 5 (half) and 2(ceil(M/B) + log N - 2) (full)
+        tree = TwoRootedCompleteBinaryTree(cube5, 0)
+        P = 6
+        half = tree_broadcast_schedule(tree, P, 1, PortModel.ONE_PORT_HALF)
+        full = tree_broadcast_schedule(tree, P, 1, PortModel.ONE_PORT_FULL)
+        res_h = run_broadcast(cube5, half, PortModel.ONE_PORT_HALF)
+        res_f = run_broadcast(cube5, full, PortModel.ONE_PORT_FULL)
+        assert abs(res_h.cycles - (3 * P + 2 * 5 - 5)) <= 1
+        assert abs(res_f.cycles - 2 * (P + 5 - 2)) <= 1
+
+    def test_tcbt_all_port_matches_sbt(self, cube5):
+        tree = TwoRootedCompleteBinaryTree(cube5, 0)
+        P = 6
+        sched = tree_broadcast_schedule(tree, P, 1, PortModel.ALL_PORT)
+        res = run_broadcast(cube5, sched, PortModel.ALL_PORT)
+        assert res.cycles == P + 5 - 1

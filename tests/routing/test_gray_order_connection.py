@@ -1,0 +1,44 @@
+"""§5.2's Gray-code observation, verified.
+
+"the root processes the data in descending order starting with the
+relative address N - 1.  This order implies that data is transmitted
+over ports in an order corresponding to the transition sequence in a
+binary-reflected Gray code.  Hence, port 0 is used every other cycle,
+port 1 every fourth cycle, etc."
+"""
+
+import pytest
+
+from repro.bits.gray import transition_sequence
+from repro.bits.ops import lowest_set_bit
+from repro.topology import Hypercube
+from repro.trees import SpanningBinomialTree
+
+
+class TestGrayOrderConnection:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_descending_order_ports_follow_gray_transitions(self, n):
+        # the first hop of destination c (relative) leaves the root on
+        # port lowest_set_bit(c); processing c = N-1 .. 1 produces
+        # exactly the Gray transition sequence
+        ports = [lowest_set_bit(c) for c in range((1 << n) - 1, 0, -1)]
+        assert ports == transition_sequence(n)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_port_usage_frequencies(self, n):
+        ports = [lowest_set_bit(c) for c in range((1 << n) - 1, 0, -1)]
+        # port j used every 2^(j+1) cycles
+        for j in range(n):
+            expected = (1 << n) >> (j + 1)
+            assert ports.count(j) == expected, j
+
+    def test_tree_descending_order_agrees(self):
+        n = 4
+        cube = Hypercube(n)
+        tree = SpanningBinomialTree(cube, 9)
+        order = tree.descending_relative_order()
+        first_ports = [
+            cube.port_towards(9, 9 ^ (1 << lowest_set_bit(v ^ 9)))
+            for v in order
+        ]
+        assert first_ports == transition_sequence(n)

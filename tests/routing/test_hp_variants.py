@@ -1,0 +1,60 @@
+"""Tests for the dual-direction HP broadcast (§3.4)."""
+
+import pytest
+
+from repro.routing import dual_hp_broadcast_schedule, tree_broadcast_schedule
+from repro.sim import PortModel, run_synchronous
+from repro.topology import Hypercube
+from repro.trees import HamiltonianPathTree
+
+
+def _run(cube, sched, pm, source):
+    res = run_synchronous(cube, sched, pm, {source: set(sched.chunk_sizes)})
+    want = set(sched.chunk_sizes)
+    for v in cube.nodes():
+        assert res.holdings[v] >= want, v
+    return res
+
+
+class TestDualHpBroadcast:
+    @pytest.mark.parametrize("pm", list(PortModel))
+    @pytest.mark.parametrize("source", [0, 6])
+    def test_delivers(self, cube4, pm, source):
+        sched = dual_hp_broadcast_schedule(cube4, source, 12, 3, pm)
+        _run(cube4, sched, pm, source)
+
+    def test_all_port_steady_state_two_packets_per_cycle(self, cube4):
+        # packet term halves vs the single path under all-port
+        P = 32
+        single = tree_broadcast_schedule(
+            HamiltonianPathTree(cube4, 0), P, 1, PortModel.ALL_PORT
+        )
+        dual = dual_hp_broadcast_schedule(cube4, 0, P, 1, PortModel.ALL_PORT)
+        rs = _run(cube4, single, PortModel.ALL_PORT, 0)
+        rd = _run(cube4, dual, PortModel.ALL_PORT, 0)
+        # single: P + N - 2; dual: P/2 + N - 2 (both rings pipelined)
+        assert rd.cycles <= rs.cycles - P // 2 + 2
+
+    def test_factor_at_most_two_claim(self, cube4):
+        # §3.4: the variations change delays/cycles by at most 2x
+        for pm in PortModel:
+            single = tree_broadcast_schedule(
+                HamiltonianPathTree(cube4, 0), 16, 2, pm
+            )
+            dual = dual_hp_broadcast_schedule(cube4, 0, 16, 2, pm)
+            rs = _run(cube4, single, pm, 0)
+            rd = _run(cube4, dual, pm, 0)
+            assert rd.cycles <= 2 * rs.cycles
+            assert rs.cycles <= 2 * rd.cycles
+
+    def test_source_uses_two_ports(self, cube4):
+        sched = dual_hp_broadcast_schedule(cube4, 0, 8, 1, PortModel.ALL_PORT)
+        res = _run(cube4, sched, PortModel.ALL_PORT, 0)
+        out_ports = res.link_stats.port_elems(0)
+        assert len(out_ports) == 2  # one per ring direction
+
+    def test_rings_split_packets_evenly(self, cube4):
+        sched = dual_hp_broadcast_schedule(cube4, 0, 10, 1, PortModel.ALL_PORT)
+        res = _run(cube4, sched, PortModel.ALL_PORT, 0)
+        a, b = res.link_stats.port_elems(0).values()
+        assert abs(a - b) <= 1

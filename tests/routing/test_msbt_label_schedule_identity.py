@@ -1,0 +1,54 @@
+"""The full-duplex MSBT schedule is literally the labelling ``f``.
+
+Packet ``p`` (tree ``j = p mod n``, batch ``q = p // n``) crosses node
+``i``'s input edge in round ``f(i, j) + q * n`` — no slack, no
+reordering.  This pins the implementation to §3.3.2's construction.
+"""
+
+import pytest
+
+from repro.routing import msbt_broadcast_schedule
+from repro.sim import PortModel
+from repro.topology import Hypercube
+from repro.trees import MSBTGraph
+
+
+@pytest.mark.parametrize("n,source", [(3, 0), (4, 9), (5, 0)])
+def test_round_equals_label_plus_batch(n, source):
+    cube = Hypercube(n)
+    packets = 3 * n  # three full batches
+    sched = msbt_broadcast_schedule(
+        cube, source, packets, 1, PortModel.ONE_PORT_FULL
+    )
+    graph = MSBTGraph(cube, source)
+    for round_idx, r in enumerate(sched.rounds):
+        for t in r:
+            (tag, p) = next(iter(t.chunks))
+            assert tag == "b"
+            j, q = p % n, p // n
+            label = graph.label(t.dst, j)
+            assert label is not None
+            assert round_idx == label + q * n, (t, p)
+
+
+def test_source_emits_one_packet_per_round_until_done(cube4):
+    n = 4
+    packets = 2 * n
+    sched = msbt_broadcast_schedule(cube4, 0, packets, 1, PortModel.ONE_PORT_FULL)
+    emitted = []
+    for round_idx, r in enumerate(sched.rounds):
+        outs = [t for t in r if t.src == 0]
+        assert len(outs) <= 1
+        if outs:
+            emitted.append(round_idx)
+    # the source works back-to-back: rounds 0 .. packets-1
+    assert emitted == list(range(packets))
+
+
+def test_each_round_each_node_receives_at_most_once(cube4):
+    sched = msbt_broadcast_schedule(cube4, 0, 16, 2, PortModel.ONE_PORT_FULL)
+    for r in sched.rounds:
+        dsts = [t.dst for t in r]
+        srcs = [t.src for t in r]
+        assert len(dsts) == len(set(dsts))
+        assert len(srcs) == len(set(srcs))

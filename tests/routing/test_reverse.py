@@ -1,0 +1,107 @@
+"""Integration tests for gather and reduce (the reverse operations)."""
+
+import pytest
+
+from repro.routing import (
+    gather_from_scatter,
+    reduce_combine_rule,
+    reduce_initial_holdings,
+    sbt_reduce_schedule,
+    sbt_scatter_schedule,
+)
+from repro.routing.common import MSG
+from repro.routing.reverse import ACC
+from repro.sim import PortModel, run_synchronous
+from repro.topology import Hypercube
+from repro.trees import SpanningBinomialTree
+
+
+class TestGather:
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_collects_everything_at_root(self, cube4, pm):
+        root = 6
+        g = gather_from_scatter(sbt_scatter_schedule(cube4, root, 4, 8, pm))
+        init = {
+            v: {c for c in g.chunk_sizes if c[0] == MSG and c[1] == v}
+            for v in cube4.nodes()
+        }
+        res = run_synchronous(cube4, g, pm, init)
+        assert res.holdings[root] >= set(g.chunk_sizes)
+
+    def test_same_cycle_count_as_scatter(self, cube4):
+        pm = PortModel.ONE_PORT_FULL
+        s = sbt_scatter_schedule(cube4, 0, 4, 8, pm)
+        g = gather_from_scatter(s)
+        init_s = {0: set(s.chunk_sizes)}
+        init_g = {
+            v: {c for c in g.chunk_sizes if c[1] == v} for v in cube4.nodes()
+        }
+        rs = run_synchronous(cube4, s, pm, init_s)
+        rg = run_synchronous(cube4, g, pm, init_g)
+        assert rs.cycles == rg.cycles
+
+    def test_algorithm_renamed(self, cube4):
+        g = gather_from_scatter(
+            sbt_scatter_schedule(cube4, 0, 1, 1, PortModel.ALL_PORT)
+        )
+        assert "gather" in g.algorithm
+
+
+class TestReduce:
+    @pytest.mark.parametrize("pm", list(PortModel))
+    @pytest.mark.parametrize("root", [0, 9])
+    def test_root_collects_combined_partials(self, cube4, pm, root):
+        M, B = 6, 2
+        sched = sbt_reduce_schedule(cube4, root, M, B, pm)
+        init = reduce_initial_holdings(cube4, M, B)
+        res = run_synchronous(cube4, sched, pm, init)
+        tree = SpanningBinomialTree(cube4, root)
+        for child in tree.children(root):
+            for p in range(3):
+                assert (ACC, child, p) in res.holdings[root], (child, p)
+
+    def test_every_node_sends_once_per_packet(self, cube4):
+        sched = sbt_reduce_schedule(cube4, 0, 4, 4, PortModel.ONE_PORT_FULL)
+        senders = [t.src for r in sched.rounds for t in r]
+        assert sorted(senders) == list(range(1, 16))
+
+    def test_combining_dataflow_complete(self, cube4):
+        # every node's upward send happens after all its children sent
+        sched = sbt_reduce_schedule(cube4, 0, 1, 1, PortModel.ONE_PORT_FULL)
+        send_round = {}
+        for ri, r in enumerate(sched.rounds):
+            for t in r:
+                send_round[t.src] = ri
+        rule = reduce_combine_rule(cube4, 0)
+        for node, children in rule.items():
+            if node == 0:
+                continue
+            for c in children:
+                assert send_round[c] < send_round[node], (node, c)
+
+    def test_one_port_cycles(self, cube5):
+        # mirror of broadcast: ceil(M/B) * log N rounds
+        sched = sbt_reduce_schedule(cube5, 0, 12, 4, PortModel.ONE_PORT_FULL)
+        res = run_synchronous(
+            cube5, sched, PortModel.ONE_PORT_FULL,
+            reduce_initial_holdings(cube5, 12, 4),
+        )
+        assert res.cycles == 3 * 5
+
+    def test_all_port_cycles(self, cube5):
+        # pipelined: ceil(M/B) + log N - 1 rounds
+        sched = sbt_reduce_schedule(cube5, 0, 12, 4, PortModel.ALL_PORT)
+        res = run_synchronous(
+            cube5, sched, PortModel.ALL_PORT,
+            reduce_initial_holdings(cube5, 12, 4),
+        )
+        assert res.cycles == 3 + 5 - 1
+
+    def test_edges_climb_the_sbt(self, cube4):
+        tree = SpanningBinomialTree(cube4, 5)
+        up_edges = {(e.dst, e.src) for e in tree.edges()}
+        for pm in PortModel:
+            sched = sbt_reduce_schedule(cube4, 5, 2, 2, pm)
+            for r in sched.rounds:
+                for t in r:
+                    assert (t.src, t.dst) in up_edges

@@ -1,0 +1,170 @@
+"""Integration tests: personalized-communication schedules (§4)."""
+
+import pytest
+
+from repro.routing import (
+    bst_scatter_schedule,
+    sbt_scatter_schedule,
+    tree_scatter_schedule,
+)
+from repro.routing.common import MSG
+from repro.sim import MachineParams, PortModel, run_synchronous
+from repro.topology import Hypercube
+from repro.trees import BalancedSpanningTree, TwoRootedCompleteBinaryTree
+from repro.trees.sbt import SpanningBinomialTree
+
+
+def run_scatter(cube, sched, pm, source, machine=None):
+    res = run_synchronous(cube, sched, pm, {source: set(sched.chunk_sizes)}, machine)
+    for v in cube.nodes():
+        if v == source:
+            continue
+        mine = {c for c in sched.chunk_sizes if c[0] == MSG and c[1] == v}
+        assert mine, f"no chunks generated for destination {v}"
+        assert res.holdings[v] >= mine, f"node {v} missing its message"
+    return res
+
+
+class TestSbtScatter:
+    @pytest.mark.parametrize("pm", list(PortModel))
+    @pytest.mark.parametrize("B", [2, 4, 64, 10_000])
+    def test_delivers(self, cube4, pm, B):
+        sched = sbt_scatter_schedule(cube4, 5, 4, B, pm)
+        run_scatter(cube4, sched, pm, 5)
+
+    def test_one_port_unbounded_packets_meets_table6(self, cube5):
+        # T = (N-1) M t_c + log N tau with B >= NM/2
+        M = 8
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        sched = sbt_scatter_schedule(
+            cube5, 0, M, cube5.num_nodes * M, PortModel.ONE_PORT_FULL
+        )
+        res = run_scatter(cube5, sched, PortModel.ONE_PORT_FULL, 0, machine)
+        assert res.cycles == 5  # log N start-ups
+        assert res.time == pytest.approx((cube5.num_nodes - 1) * M + 5)
+
+    def test_all_port_unbounded_packets_meets_table6(self, cube5):
+        # T = N/2 M t_c + log N tau (lemma 4.2)
+        M = 8
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        sched = sbt_scatter_schedule(
+            cube5, 0, M, cube5.num_nodes * M, PortModel.ALL_PORT
+        )
+        res = run_scatter(cube5, sched, PortModel.ALL_PORT, 0, machine)
+        assert res.time == pytest.approx(cube5.num_nodes // 2 * M + 5)
+
+    def test_root_port0_carries_half_of_everything(self, cube4):
+        M = 4
+        sched = sbt_scatter_schedule(cube4, 0, M, 1000, PortModel.ONE_PORT_FULL)
+        res = run_scatter(cube4, sched, PortModel.ONE_PORT_FULL, 0)
+        loads = res.link_stats.port_elems(0)
+        assert loads[0] == (cube4.num_nodes // 2) * M  # the §4 bottleneck
+
+    def test_messages_follow_sbt_paths(self, cube4):
+        tree = SpanningBinomialTree(cube4, 3)
+        edges = {(e.src, e.dst) for e in tree.edges()}
+        for pm in (PortModel.ONE_PORT_FULL, PortModel.ALL_PORT):
+            sched = sbt_scatter_schedule(cube4, 3, 2, 6, pm)
+            for r in sched.rounds:
+                for t in r:
+                    assert (t.src, t.dst) in edges
+
+
+class TestBstScatter:
+    @pytest.mark.parametrize("pm", list(PortModel))
+    @pytest.mark.parametrize("B", [2, 4, 64, 10_000])
+    def test_delivers(self, cube4, pm, B):
+        sched = bst_scatter_schedule(cube4, 5, 4, B, pm)
+        run_scatter(cube4, sched, pm, 5)
+
+    @pytest.mark.parametrize("order", ["depth_first", "reversed_breadth_first"])
+    def test_orders_deliver(self, cube4, order):
+        sched = bst_scatter_schedule(
+            cube4, 0, 4, 16, PortModel.ONE_PORT_FULL, subtree_order=order
+        )
+        run_scatter(cube4, sched, PortModel.ONE_PORT_FULL, 0)
+
+    def test_unknown_order_rejected(self, cube4):
+        with pytest.raises(ValueError, match="subtree order"):
+            bst_scatter_schedule(cube4, 0, 4, 16, PortModel.ONE_PORT_FULL, "random")
+
+    def test_all_port_root_load_is_max_subtree(self, cube5):
+        # the BST promise: every root port carries ~ (N-1)/log N * M
+        M = 8
+        tree = BalancedSpanningTree(cube5, 0)
+        sched = bst_scatter_schedule(
+            cube5, 0, M, cube5.num_nodes * M, PortModel.ALL_PORT
+        )
+        res = run_scatter(cube5, sched, PortModel.ALL_PORT, 0)
+        loads = res.link_stats.port_elems(0)
+        for j in range(5):
+            assert loads[j] == tree.subtree_size(j) * M
+
+    def test_all_port_time_beats_sbt_by_half_log_n(self):
+        # the §4.3 conclusion at n = 6
+        n, M = 6, 4
+        cube = Hypercube(n)
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        big = cube.num_nodes * M
+        t_sbt = run_scatter(
+            cube, sbt_scatter_schedule(cube, 0, M, big, PortModel.ALL_PORT),
+            PortModel.ALL_PORT, 0, machine,
+        ).time
+        t_bst = run_scatter(
+            cube, bst_scatter_schedule(cube, 0, M, big, PortModel.ALL_PORT),
+            PortModel.ALL_PORT, 0, machine,
+        ).time
+        # the structural ratio at finite n is (N/2) / max-subtree-size;
+        # it approaches the asymptotic log N / 2 = 3 from below
+        from repro.trees.bst import max_subtree_size
+
+        structural = (cube.num_nodes / 2) / max_subtree_size(n)
+        assert t_sbt / t_bst > structural * 0.9
+        assert t_sbt / t_bst > 2.0
+
+    def test_one_port_startups_at_most_2logn_minus_2(self, cube5):
+        M = 4
+        sched = bst_scatter_schedule(
+            cube5, 0, M, cube5.num_nodes * M, PortModel.ONE_PORT_FULL
+        )
+        res = run_scatter(cube5, sched, PortModel.ONE_PORT_FULL, 0)
+        assert res.cycles <= 2 * 5 - 2
+
+    def test_root_sends_cyclically(self, cube5):
+        # under one-port with small packets, consecutive root sends go
+        # to different subtrees (port j in cycles == j mod n)
+        sched = bst_scatter_schedule(cube5, 0, 4, 4, PortModel.ONE_PORT_FULL)
+        root_ports = []
+        for r in sched.rounds:
+            for t in r:
+                if t.src == 0:
+                    root_ports.append((t.src ^ t.dst).bit_length() - 1)
+        changes = sum(1 for a, b in zip(root_ports, root_ports[1:]) if a != b)
+        assert changes >= 0.9 * (len(root_ports) - 1)
+
+    def test_messages_follow_bst_paths(self, cube4):
+        tree = BalancedSpanningTree(cube4, 0)
+        edges = {(e.src, e.dst) for e in tree.edges()}
+        for pm in PortModel:
+            sched = bst_scatter_schedule(cube4, 0, 2, 8, pm)
+            for r in sched.rounds:
+                for t in r:
+                    assert (t.src, t.dst) in edges
+
+
+class TestTreeScatter:
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_tcbt_delivers(self, cube4, pm):
+        tree = TwoRootedCompleteBinaryTree(cube4, 0)
+        sched = tree_scatter_schedule(tree, 4, 64, pm)
+        run_scatter(cube4, sched, pm, 0)
+
+    def test_tcbt_all_port_close_to_table6(self, cube5):
+        # (3/4 N - 1) M t_c + log N tau
+        M = 8
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        tree = TwoRootedCompleteBinaryTree(cube5, 0)
+        sched = tree_scatter_schedule(tree, M, cube5.num_nodes * M, PortModel.ALL_PORT)
+        res = run_scatter(cube5, sched, PortModel.ALL_PORT, 0, machine)
+        predicted = (0.75 * cube5.num_nodes - 1) * M + 5
+        assert res.time <= predicted * 1.05

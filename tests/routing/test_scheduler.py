@@ -1,0 +1,135 @@
+"""Unit tests for the greedy list scheduler and schedule transforms."""
+
+import pytest
+
+from repro.routing import greedy_partition, list_schedule, reschedule, split_oversized
+from repro.sim import PortModel, Schedule, Transfer
+from repro.topology import Hypercube
+
+
+def _t(src, dst, *chunks):
+    return Transfer(src, dst, frozenset(chunks))
+
+
+class TestListSchedule:
+    def test_packs_independent_transfers_together(self, cube4):
+        transfers = [_t(0, 1, "a"), _t(2, 3, "b")]
+        s = list_schedule(
+            cube4, transfers, {"a": 1, "b": 1},
+            PortModel.ONE_PORT_FULL, {0: {"a"}, 2: {"b"}},
+        )
+        assert s.num_rounds == 1
+
+    def test_respects_causality(self, cube4):
+        transfers = [_t(0, 1, "a"), _t(1, 3, "a"), _t(3, 7, "a")]
+        s = list_schedule(
+            cube4, transfers, {"a": 1}, PortModel.ALL_PORT, {0: {"a"}}
+        )
+        assert s.num_rounds == 3  # a chain cannot compress
+
+    def test_respects_one_port(self, cube4):
+        transfers = [_t(0, 1, "a"), _t(0, 2, "a"), _t(0, 4, "a")]
+        s = list_schedule(
+            cube4, transfers, {"a": 1}, PortModel.ONE_PORT_FULL, {0: {"a"}}
+        )
+        assert s.num_rounds == 3
+        s2 = list_schedule(
+            cube4, transfers, {"a": 1}, PortModel.ALL_PORT, {0: {"a"}}
+        )
+        assert s2.num_rounds == 1
+
+    def test_half_duplex_forbids_concurrent_forward(self, cube4):
+        # 0 -> 1 -> 3 while 0 -> 2: under half duplex node 1 cannot
+        # receive "b" while sending "a"
+        transfers = [_t(0, 1, "a"), _t(1, 3, "a"), _t(0, 1, "b")]
+        s = list_schedule(
+            cube4, transfers, {"a": 1, "b": 1},
+            PortModel.ONE_PORT_HALF, {0: {"a", "b"}},
+        )
+        for r in s.rounds:
+            nodes = [t.src for t in r] + [t.dst for t in r]
+            assert len(nodes) == len(set(nodes))
+
+    def test_unsourced_chunk_deadlocks(self, cube4):
+        with pytest.raises(RuntimeError, match="deadlock"):
+            list_schedule(
+                cube4, [_t(0, 1, "ghost")], {"ghost": 1},
+                PortModel.ALL_PORT, {},
+            )
+
+    def test_priority_respects_list_order(self, cube4):
+        # both transfers leave node 0; the first one in the list wins round 0
+        transfers = [_t(0, 2, "b"), _t(0, 1, "a")]
+        s = list_schedule(
+            cube4, transfers, {"a": 1, "b": 1},
+            PortModel.ONE_PORT_FULL, {0: {"a", "b"}},
+        )
+        assert s.rounds[0][0].dst == 2
+
+
+class TestReschedule:
+    def test_stricter_model_stretches_schedule(self, cube4):
+        from repro.routing import msbt_broadcast_schedule
+
+        full = msbt_broadcast_schedule(cube4, 0, 16, 4, PortModel.ONE_PORT_FULL)
+        half = reschedule(cube4, full, PortModel.ONE_PORT_HALF, {0: set(full.chunk_sizes)})
+        assert half.num_rounds >= full.compact().num_rounds
+        from repro.sim.synchronous import run_synchronous
+
+        res = run_synchronous(
+            cube4, half, PortModel.ONE_PORT_HALF, {0: set(full.chunk_sizes)}
+        )
+        assert all(res.holdings[v] >= set(full.chunk_sizes) for v in cube4.nodes())
+
+
+class TestSplitOversized:
+    def test_splits_and_preserves_payload(self, cube4):
+        s = Schedule(
+            rounds=[(_t(0, 1, "a", "b", "c"),)],
+            chunk_sizes={"a": 4, "b": 4, "c": 4},
+        )
+        out = split_oversized(s, 8)
+        assert out.num_rounds == 2
+        delivered = set()
+        for r in out.rounds:
+            for t in r:
+                assert sum(out.chunk_sizes[c] for c in t.chunks) <= 8
+                delivered |= t.chunks
+        assert delivered == {"a", "b", "c"}
+
+    def test_no_split_needed_is_identity_shape(self, cube4):
+        s = Schedule(rounds=[(_t(0, 1, "a"),)], chunk_sizes={"a": 4})
+        out = split_oversized(s, 8)
+        assert out.num_rounds == 1
+
+    def test_oversized_single_chunk_goes_alone(self):
+        s = Schedule(rounds=[(_t(0, 1, "big", "small"),)], chunk_sizes={"big": 100, "small": 1})
+        out = split_oversized(s, 8)
+        sizes = sorted(
+            sum(out.chunk_sizes[c] for c in t.chunks)
+            for r in out.rounds for t in r
+        )
+        assert sizes == [1, 100]
+
+    def test_bad_limit_rejected(self):
+        s = Schedule(rounds=[], chunk_sizes={})
+        with pytest.raises(ValueError):
+            split_oversized(s, 0)
+
+
+class TestGreedyPartition:
+    def test_respects_limit(self):
+        sizes = {c: 3 for c in "abcdefg"}
+        bins = greedy_partition(list("abcdefg"), sizes, 7)
+        for b in bins:
+            assert sum(sizes[c] for c in b) <= 7
+        assert sorted(c for b in bins for c in b) == list("abcdefg")
+
+    def test_preserves_order_for_equal_sizes(self):
+        sizes = {c: 5 for c in "abcd"}
+        bins = greedy_partition(list("abcd"), sizes, 10)
+        assert bins == [["a", "b"], ["c", "d"]]
+
+    def test_single_oversized_item(self):
+        bins = greedy_partition(["x"], {"x": 99}, 10)
+        assert bins == [["x"]]

@@ -1,0 +1,156 @@
+"""Tests for the §5.2 routing tables: the root's rotation-shared table
+and the internal-node DF/BF tables with the paper's size bounds."""
+
+from math import log2
+
+import pytest
+
+from repro.bits.necklaces import is_cyclic, period
+from repro.routing.tables import (
+    breadth_first_level_table,
+    breadth_first_table_bits,
+    build_root_table,
+    depth_first_port_counts,
+    depth_first_table_bits,
+)
+from repro.topology import Hypercube
+from repro.trees import BalancedSpanningTree
+
+
+@pytest.fixture(params=[3, 4, 5, 6])
+def tree(request):
+    return BalancedSpanningTree(Hypercube(request.param))
+
+
+class TestRootTable:
+    def test_entries_are_subtree0_in_df_order(self, tree):
+        table = build_root_table(tree)
+        sub0 = set(tree.subtree_node_lists[0])
+        assert {tree.root ^ c for c in table.entries} == sub0
+        # parents precede descendants (valid DF)
+        pos = {tree.root ^ c: i for i, c in enumerate(table.entries)}
+        for v in sub0:
+            p = tree.parents_map[v]
+            if p != tree.root:
+                assert pos[p] < pos[v], v
+
+    def test_port_orders_cover_each_subtree(self, tree):
+        # rotating the one table reproduces every subtree's node set
+        table = build_root_table(tree)
+        for j in range(tree.n):
+            order = table.port_order(j)
+            assert set(order) == set(tree.subtree_node_lists[j]), j
+
+    def test_port_orders_are_valid_df_traversals(self, tree):
+        # the rotation is a tree isomorphism, so the rotated order is
+        # still parent-before-descendant within subtree j
+        table = build_root_table(tree)
+        for j in range(tree.n):
+            order = table.port_order(j)
+            pos = {v: i for i, v in enumerate(order)}
+            for v in order:
+                p = tree.parents_map[v]
+                if p != tree.root:
+                    assert p in pos and pos[p] < pos[v], (j, v)
+
+    def test_cyclic_entries_skipped_beyond_period(self, tree):
+        # entry c is transmitted on ports 0 .. period(c) - 1 only, so
+        # across all ports it accounts for exactly period(c) messages
+        table = build_root_table(tree)
+        n = tree.n
+        total_sent = sum(len(table.port_order(j)) for j in range(n))
+        expected = sum(period(c, n) for c in table.entries)
+        assert total_sent == expected == tree.cube.num_nodes - 1
+        for c in table.entries:
+            if is_cyclic(c, n):
+                p = period(c, n)
+                # sent on port p-1 but not on port p (rotating by the
+                # period would duplicate an earlier destination)
+                assert (tree.root ^ c) not in table.port_order(p)
+
+    def test_size_matches_paper_estimate(self):
+        # length ~ N / log N entries of log N bits each
+        n = 8
+        tree = BalancedSpanningTree(Hypercube(n))
+        table = build_root_table(tree)
+        ideal_len = (1 << n) / n
+        assert len(table.entries) <= 1.2 * ideal_len
+        assert table.size_bits() == len(table.entries) * n
+
+    def test_bad_port_rejected(self, tree):
+        with pytest.raises(ValueError):
+            build_root_table(tree).port_order(tree.n)
+
+
+class TestDepthFirstTables:
+    def test_counts_match_subtree_sizes(self, tree):
+        for v in tree.cube.nodes():
+            if v == tree.root:
+                continue
+            counts = depth_first_port_counts(tree, v)
+            assert sum(counts.values()) == tree.subtree_sizes[v] - 1
+
+    def test_ports_used_at_most_half_log_n(self, tree):
+        # §5.2: "the number of ports used in each subtree is at most log N / 2"
+        # per node that is the BST fanout bound (property 2)
+        import math
+
+        for v in tree.cube.nodes():
+            if v == tree.root:
+                continue
+            counts = depth_first_port_counts(tree, v)
+            level = tree.levels[v]
+            assert len(counts) <= math.ceil((tree.n - level) / 2)
+
+    def test_size_bound_log_squared(self):
+        # the paper's bound: ~ log^2 N bits per internal node
+        for n in (4, 6, 8, 10):
+            tree = BalancedSpanningTree(Hypercube(n))
+            worst = max(
+                depth_first_table_bits(tree, v)
+                for v in tree.cube.nodes()
+                if v != tree.root
+            )
+            assert worst <= n * n, (n, worst)
+
+    def test_root_rejected(self, tree):
+        with pytest.raises(ValueError):
+            depth_first_port_counts(tree, tree.root)
+
+
+class TestBreadthFirstTables:
+    def test_level_counts_sum_to_subtrees(self, tree):
+        for v in tree.cube.nodes():
+            if v == tree.root:
+                continue
+            table = breadth_first_level_table(tree, v)
+            total = sum(sum(levels.values()) for levels in table.values())
+            assert total == tree.subtree_sizes[v] - 1
+
+    def test_size_bound_log_cubed(self):
+        for n in (4, 6, 8, 10):
+            tree = BalancedSpanningTree(Hypercube(n))
+            worst = max(
+                breadth_first_table_bits(tree, v)
+                for v in tree.cube.nodes()
+                if v != tree.root
+            )
+            assert worst <= n ** 3, (n, worst)
+
+    def test_df_tables_smaller_than_bf(self):
+        # "the depth-first communication order is more effective with
+        # respect to table space"
+        tree = BalancedSpanningTree(Hypercube(8))
+        df = sum(
+            depth_first_table_bits(tree, v)
+            for v in tree.cube.nodes() if v != tree.root
+        )
+        bf = sum(
+            breadth_first_table_bits(tree, v)
+            for v in tree.cube.nodes() if v != tree.root
+        )
+        assert df < bf
+
+    def test_root_rejected(self, tree):
+        with pytest.raises(ValueError):
+            breadth_first_level_table(tree, tree.root)

@@ -1,0 +1,89 @@
+"""Tests for the generic (any-tree) reduce schedule."""
+
+import pytest
+
+from repro.routing import (
+    reduce_initial_holdings,
+    sbt_reduce_schedule,
+    tree_reduce_initial_holdings,
+    tree_reduce_schedule,
+)
+from repro.routing.reverse import ACC, DONE
+from repro.sim import PortModel, run_synchronous
+from repro.topology import Hypercube
+from repro.trees import (
+    BalancedSpanningTree,
+    HamiltonianPathTree,
+    SpanningBinomialTree,
+    TwoRootedCompleteBinaryTree,
+)
+
+TREES = (
+    SpanningBinomialTree,
+    BalancedSpanningTree,
+    TwoRootedCompleteBinaryTree,
+    HamiltonianPathTree,
+)
+
+
+def _run(tree, M, B, pm):
+    sched = tree_reduce_schedule(tree, M, B, pm)
+    res = run_synchronous(
+        tree.cube, sched, pm, tree_reduce_initial_holdings(tree, M, B)
+    )
+    return sched, res
+
+
+class TestGenericReduce:
+    @pytest.mark.parametrize("cls", TREES)
+    @pytest.mark.parametrize("pm", list(PortModel))
+    def test_root_sees_every_subtree_combined(self, cube4, cls, pm):
+        tree = cls(cube4, 3)
+        sched, res = _run(tree, 4, 2, pm)
+        for v in cube4.nodes():
+            assert (DONE, v, 0) in res.holdings[3]
+            assert (DONE, v, 1) in res.holdings[3]
+
+    @pytest.mark.parametrize("cls", TREES)
+    def test_every_node_sends_once_per_packet(self, cube4, cls):
+        tree = cls(cube4, 0)
+        sched, _ = _run(tree, 4, 2, PortModel.ONE_PORT_FULL)
+        senders = sorted(t.src for r in sched.rounds for t in r)
+        assert senders == sorted(list(range(1, 16)) * 2)
+
+    @pytest.mark.parametrize("cls", TREES)
+    def test_combining_order_respected(self, cube4, cls):
+        tree = cls(cube4, 0)
+        sched, _ = _run(tree, 1, 1, PortModel.ALL_PORT)
+        send_round = {t.src: ri for ri, r in enumerate(sched.rounds) for t in r}
+        for v in cube4.nodes():
+            for c in tree.children_map[v]:
+                if v != 0:
+                    assert send_round[c] < send_round[v], (cls, v, c)
+
+    def test_matches_direct_sbt_generator_cycles(self, cube5):
+        M, B = 12, 4
+        tree = SpanningBinomialTree(cube5, 0)
+        for pm in PortModel:
+            generic = _run(tree, M, B, pm)[1].cycles
+            direct_sched = sbt_reduce_schedule(cube5, 0, M, B, pm)
+            direct = run_synchronous(
+                cube5, direct_sched, pm, reduce_initial_holdings(cube5, M, B)
+            ).cycles
+            assert generic <= direct + 1, pm
+
+    def test_payload_sizes_are_m_per_hop(self, cube4):
+        # combining keeps edges at M elements regardless of subtree size
+        tree = BalancedSpanningTree(cube4, 0)
+        sched, res = _run(tree, 8, 8, PortModel.ALL_PORT)
+        assert sched.max_transfer_elems() == 8
+        assert res.link_stats.max_edge_elems() == 8
+
+    def test_done_markers_are_free(self, cube4):
+        tree = TwoRootedCompleteBinaryTree(cube4, 0)
+        sched, _ = _run(tree, 8, 8, PortModel.ALL_PORT)
+        for c, s in sched.chunk_sizes.items():
+            if c[0] == DONE:
+                assert s == 0
+            else:
+                assert c[0] == ACC and s == 8

@@ -1,0 +1,94 @@
+"""Tests for transit-buffer accounting (§5.2's memory story)."""
+
+import pytest
+
+from repro.routing import bst_scatter_schedule, sbt_scatter_schedule
+from repro.sim import PortModel, Schedule, Transfer
+from repro.sim.validate import buffer_occupancy, peak_buffer_elems
+from repro.topology import Hypercube
+
+
+def _t(src, dst, *chunks):
+    return Transfer(src, dst, frozenset(chunks))
+
+
+class TestBufferOccupancy:
+    def test_forwarded_chunk_occupies_between_hops(self, cube4):
+        sched = Schedule(
+            rounds=[
+                (_t(0, 1, ("m", 3, 0)),),
+                (),
+                (_t(1, 3, ("m", 3, 0)),),
+            ],
+            chunk_sizes={("m", 3, 0): 5},
+        )
+        occ = buffer_occupancy(sched, 1)
+        assert occ == [5, 5, 0]
+
+    def test_own_data_stays(self, cube4):
+        sched = Schedule(
+            rounds=[(_t(0, 1, ("m", 1, 0)),)],
+            chunk_sizes={("m", 1, 0): 7},
+        )
+        assert buffer_occupancy(sched, 1) == [7]
+        assert buffer_occupancy(sched, 1, keep_own=False) == [7]
+
+    def test_source_buffers_not_counted(self, cube4):
+        # data the node held initially (never "arrived") is app memory
+        sched = Schedule(
+            rounds=[(_t(0, 1, ("m", 1, 0)),)],
+            chunk_sizes={("m", 1, 0): 7},
+        )
+        assert peak_buffer_elems(sched, 0) == 0
+
+    def test_peak(self, cube4):
+        sched = Schedule(
+            rounds=[
+                (_t(0, 1, ("m", 3, 0)), ),
+                (_t(0, 2, ("m", 3, 1)),),
+                (_t(1, 3, ("m", 3, 0)),),
+            ],
+            chunk_sizes={("m", 3, 0): 5, ("m", 3, 1): 5},
+        )
+        assert peak_buffer_elems(sched, 1) == 5
+
+
+class TestScatterBuffers:
+    def test_sbt_subtree0_head_buffers_half_the_data(self, cube5):
+        # recursive halving parks ~N/2 messages at the port-0 child
+        M = 4
+        sched = sbt_scatter_schedule(
+            cube5, 0, M, cube5.num_nodes * M, PortModel.ONE_PORT_FULL
+        )
+        head = 1  # root's port-0 child
+        peak = peak_buffer_elems(sched, head)
+        assert peak >= (cube5.num_nodes // 2 - 1) * M
+
+    def test_bst_heads_buffer_only_a_subtree(self, cube5):
+        # the BST's heads hold ~N/log N messages — far less than N/2
+        M = 4
+        sched = bst_scatter_schedule(
+            cube5, 0, M, cube5.num_nodes * M, PortModel.ONE_PORT_FULL
+        )
+        from repro.trees import BalancedSpanningTree
+
+        tree = BalancedSpanningTree(cube5, 0)
+        worst = max(
+            peak_buffer_elems(sched, head)
+            for head in tree.children_map[0]
+        )
+        sbt_head_load = (cube5.num_nodes // 2 - 1) * M
+        assert worst <= tree.subtree_sizes[max(
+            tree.children_map[0], key=lambda h: tree.subtree_sizes[h]
+        )] * M
+        assert worst < sbt_head_load / 2
+
+    def test_small_packets_bound_buffers_further(self, cube4):
+        M = 8
+        big = bst_scatter_schedule(cube4, 0, M, 10_000, PortModel.ONE_PORT_FULL)
+        small = bst_scatter_schedule(cube4, 0, M, M, PortModel.ONE_PORT_FULL)
+        head = max(
+            (v for v in cube4.nodes() if v != 0),
+            key=lambda v: peak_buffer_elems(big, v),
+        )
+        assert peak_buffer_elems(small, head) <= peak_buffer_elems(big, head)

@@ -1,0 +1,67 @@
+"""Unit tests for the schedule data model."""
+
+import pytest
+
+from repro.sim import Schedule, Transfer
+
+
+def _sched() -> Schedule:
+    return Schedule(
+        rounds=[
+            (Transfer(0, 1, frozenset({"a"})),),
+            (),
+            (Transfer(1, 3, frozenset({"a", "b"})), Transfer(0, 2, frozenset({"b"}))),
+        ],
+        chunk_sizes={"a": 3, "b": 5},
+        algorithm="demo",
+    )
+
+
+class TestTransfer:
+    def test_self_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            Transfer(2, 2, frozenset({"a"}))
+
+    def test_chunks_coerced_to_frozenset(self):
+        t = Transfer(0, 1, {"a", "b"})  # type: ignore[arg-type]
+        assert isinstance(t.chunks, frozenset)
+
+    def test_repr(self):
+        assert "0->1" in repr(Transfer(0, 1, frozenset({"a"})))
+
+
+class TestSchedule:
+    def test_counts(self):
+        s = _sched()
+        assert s.num_rounds == 3
+        assert s.num_transfers == 3
+
+    def test_sizes(self):
+        s = _sched()
+        assert s.transfer_elems(Transfer(1, 3, frozenset({"a", "b"}))) == 8
+        assert s.total_elems_moved() == 3 + 8 + 5
+        assert s.max_transfer_elems() == 8
+
+    def test_all_transfers_in_round_order(self):
+        s = _sched()
+        ts = s.all_transfers()
+        assert len(ts) == 3
+        assert ts[0].dst == 1
+
+    def test_compact_drops_empty_rounds(self):
+        s = _sched().compact()
+        assert s.num_rounds == 2
+
+    def test_reversed_flips_everything(self):
+        s = _sched()
+        r = s.reversed()
+        assert r.num_rounds == 3
+        first = r.rounds[0]
+        assert {(t.src, t.dst) for t in first} == {(3, 1), (2, 0)}
+        assert r.rounds[-1][0].src == 1 and r.rounds[-1][0].dst == 0
+        assert r.algorithm.endswith("-reversed")
+
+    def test_empty_schedule(self):
+        s = Schedule(rounds=[], chunk_sizes={})
+        assert s.max_transfer_elems() == 0
+        assert s.total_elems_moved() == 0

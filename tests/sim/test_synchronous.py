@@ -1,0 +1,119 @@
+"""Unit tests for the lock-step engine and its constraint checking."""
+
+import pytest
+
+from repro.sim import MachineParams, PortModel, Schedule, Transfer
+from repro.sim.synchronous import check_round_constraints, run_synchronous
+from repro.topology import Hypercube
+
+
+def _one(src, dst, *chunks):
+    return Transfer(src, dst, frozenset(chunks))
+
+
+class TestConstraintChecking:
+    def test_non_edge_rejected(self, cube4):
+        with pytest.raises(ValueError, match="not a cube edge"):
+            check_round_constraints(cube4, (_one(0, 3, "a"),), PortModel.ALL_PORT, 0)
+
+    def test_duplicate_edge_rejected(self, cube4):
+        r = (_one(0, 1, "a"), _one(0, 1, "b"))
+        with pytest.raises(ValueError, match="used twice"):
+            check_round_constraints(cube4, r, PortModel.ALL_PORT, 0)
+
+    def test_all_port_allows_fanout(self, cube4):
+        r = tuple(_one(0, 1 << j, "a") for j in range(4))
+        check_round_constraints(cube4, r, PortModel.ALL_PORT, 0)
+
+    def test_one_port_rejects_double_send(self, cube4):
+        r = (_one(0, 1, "a"), _one(0, 2, "a"))
+        with pytest.raises(ValueError, match="sends 2"):
+            check_round_constraints(cube4, r, PortModel.ONE_PORT_FULL, 0)
+
+    def test_one_port_rejects_double_receive(self, cube4):
+        r = (_one(1, 0, "a"), _one(2, 0, "a"))
+        with pytest.raises(ValueError, match="receives 2"):
+            check_round_constraints(cube4, r, PortModel.ONE_PORT_FULL, 0)
+
+    def test_full_duplex_allows_send_plus_receive(self, cube4):
+        r = (_one(0, 1, "a"), _one(2, 0, "a"))
+        check_round_constraints(cube4, r, PortModel.ONE_PORT_FULL, 0)
+
+    def test_half_duplex_rejects_send_plus_receive(self, cube4):
+        r = (_one(0, 1, "a"), _one(2, 0, "a"))
+        with pytest.raises(ValueError, match="both sends and receives"):
+            check_round_constraints(cube4, r, PortModel.ONE_PORT_HALF, 0)
+
+
+class TestRunSynchronous:
+    def test_delivery_and_cycles(self, cube4):
+        sched = Schedule(
+            rounds=[(_one(0, 1, "a"),), (_one(1, 3, "a"),)],
+            chunk_sizes={"a": 4},
+        )
+        res = run_synchronous(cube4, sched, PortModel.ONE_PORT_FULL, {0: {"a"}})
+        assert res.cycles == 2
+        assert res.holds(3, "a") and res.holds(1, "a")
+        assert not res.holds(2, "a")
+
+    def test_causality_enforced(self, cube4):
+        sched = Schedule(
+            rounds=[(_one(1, 3, "a"),)],  # node 1 never received "a"
+            chunk_sizes={"a": 1},
+        )
+        with pytest.raises(ValueError, match="does not hold"):
+            run_synchronous(cube4, sched, PortModel.ALL_PORT, {0: {"a"}})
+
+    def test_same_round_delivery_cannot_be_forwarded(self, cube4):
+        sched = Schedule(
+            rounds=[(_one(0, 1, "a"), _one(1, 3, "a"))],
+            chunk_sizes={"a": 1},
+        )
+        with pytest.raises(ValueError, match="does not hold"):
+            run_synchronous(cube4, sched, PortModel.ALL_PORT, {0: {"a"}})
+
+    def test_validate_false_skips_checks(self, cube4):
+        sched = Schedule(
+            rounds=[(_one(1, 3, "a"),)],
+            chunk_sizes={"a": 1},
+        )
+        res = run_synchronous(
+            cube4, sched, PortModel.ALL_PORT, {0: {"a"}}, validate=False
+        )
+        assert res.cycles == 1
+
+    def test_lockstep_time_prices_largest_packet(self, cube4):
+        sched = Schedule(
+            rounds=[
+                (_one(0, 1, "a"), _one(2, 3, "b")),
+                (_one(1, 3, "a"),),
+            ],
+            chunk_sizes={"a": 2, "b": 10},
+        )
+        machine = MachineParams(tau=1.0, t_c=1.0)
+        res = run_synchronous(
+            cube4, sched, PortModel.ALL_PORT,
+            {0: {"a"}, 2: {"b"}}, machine,
+        )
+        assert res.step_costs == [11.0, 3.0]
+        assert res.time == 14.0
+
+    def test_empty_rounds_not_counted(self, cube4):
+        sched = Schedule(
+            rounds=[(), (_one(0, 1, "a"),), ()],
+            chunk_sizes={"a": 1},
+        )
+        res = run_synchronous(cube4, sched, PortModel.ALL_PORT, {0: {"a"}})
+        assert res.cycles == 1
+
+    def test_link_stats_recorded(self, cube4):
+        sched = Schedule(
+            rounds=[(_one(0, 1, "a"),), (_one(0, 1, "b"),)],
+            chunk_sizes={"a": 2, "b": 3},
+        )
+        res = run_synchronous(
+            cube4, sched, PortModel.ONE_PORT_FULL, {0: {"a", "b"}}
+        )
+        assert res.link_stats.max_edge_elems() == 5
+        assert res.link_stats.max_edge_packets() == 2
+        assert res.link_stats.total_elems() == 5

@@ -1,0 +1,50 @@
+"""Unit tests for link-traffic statistics."""
+
+from repro.sim.trace import LinkStats
+from repro.topology import DirectedEdge
+
+
+class TestLinkStats:
+    def test_record_and_query(self):
+        s = LinkStats()
+        s.record(0, 1, 10)
+        s.record(0, 1, 5)
+        s.record(1, 0, 3)
+        assert s.elems[DirectedEdge(0, 1)] == 15
+        assert s.packets[DirectedEdge(0, 1)] == 2
+        assert s.elems[DirectedEdge(1, 0)] == 3
+        assert s.max_edge_elems() == 15
+        assert s.max_edge_packets() == 2
+        assert s.total_elems() == 18
+
+    def test_port_elems(self):
+        s = LinkStats()
+        s.record(0, 1, 7)   # port 0
+        s.record(0, 4, 9)   # port 2
+        s.record(3, 0, 100)  # inbound: not ours
+        assert s.port_elems(0) == {0: 7, 2: 9}
+
+    def test_busiest_edges(self):
+        s = LinkStats()
+        s.record(0, 1, 1)
+        s.record(2, 3, 50)
+        top = s.busiest_edges(1)
+        assert top == [(DirectedEdge(2, 3), 50)]
+
+    def test_empty(self):
+        s = LinkStats()
+        assert s.max_edge_elems() == 0
+        assert s.max_edge_packets() == 0
+        assert s.busiest_edges() == []
+
+
+class TestPortsEnum:
+    def test_describe_and_flags(self):
+        from repro.sim import PortModel
+
+        assert PortModel.ONE_PORT_HALF.half_duplex
+        assert not PortModel.ONE_PORT_FULL.half_duplex
+        assert PortModel.ALL_PORT.max_sends is None
+        assert PortModel.ONE_PORT_FULL.max_sends == 1
+        for pm in PortModel:
+            assert pm.describe()

@@ -1,0 +1,72 @@
+"""Tests for schedule profiling and standalone validation."""
+
+import pytest
+
+from repro.routing import (
+    bst_scatter_schedule,
+    msbt_broadcast_schedule,
+    sbt_scatter_schedule,
+)
+from repro.sim import PortModel, Schedule, Transfer
+from repro.sim.validate import assert_schedule_valid, profile_schedule
+from repro.topology import Hypercube
+
+
+class TestProfile:
+    def test_counts(self, cube4):
+        sched = msbt_broadcast_schedule(cube4, 0, 16, 4, PortModel.ONE_PORT_FULL)
+        p = profile_schedule(cube4, sched)
+        assert p.rounds == sched.compact().num_rounds
+        assert p.transfers == sched.num_transfers
+        assert 0 < p.edge_utilization <= 1.0
+        assert p.max_concurrency >= p.mean_concurrency
+
+    def test_msbt_uses_almost_every_edge(self, cube4):
+        # the MSBT's point: all directed edges except those into the
+        # source carry data
+        sched = msbt_broadcast_schedule(cube4, 0, 64, 4, PortModel.ONE_PORT_FULL)
+        p = profile_schedule(cube4, sched)
+        expected = (cube4.num_directed_edges - 4) / cube4.num_directed_edges
+        assert p.edge_utilization == pytest.approx(expected)
+
+    def test_sbt_scatter_imbalance_vs_bst(self, cube5):
+        M = 4
+        big = cube5.num_nodes * M
+        sbt = profile_schedule(
+            cube5, sbt_scatter_schedule(cube5, 0, M, big, PortModel.ONE_PORT_FULL)
+        )
+        bst = profile_schedule(
+            cube5, bst_scatter_schedule(cube5, 0, M, big, PortModel.ONE_PORT_FULL)
+        )
+        # SBT port 0 carries N/2 messages vs N/16 on the last port
+        assert sbt.balance_ratio() == 16.0
+        assert bst.balance_ratio() < 1.5
+
+    def test_source_override(self, cube4):
+        sched = sbt_scatter_schedule(cube4, 3, 2, 64, PortModel.ONE_PORT_FULL)
+        p = profile_schedule(cube4, sched, source=3)
+        assert sum(p.source_port_elems.values()) == 15 * 2
+
+    def test_empty_schedule(self, cube4):
+        p = profile_schedule(cube4, Schedule(rounds=[], chunk_sizes={}))
+        assert p.rounds == 0
+        assert p.balance_ratio() == 1.0
+
+
+class TestAssertValid:
+    def test_accepts_generated_schedules(self, cube4):
+        for pm in PortModel:
+            sched = msbt_broadcast_schedule(cube4, 0, 16, 4, pm)
+            assert_schedule_valid(cube4, sched, pm)
+
+    def test_rejects_violations(self, cube4):
+        bad = Schedule(
+            rounds=[(
+                Transfer(0, 1, frozenset({"a"})),
+                Transfer(0, 2, frozenset({"a"})),
+            )],
+            chunk_sizes={"a": 1},
+        )
+        with pytest.raises(ValueError):
+            assert_schedule_valid(cube4, bad, PortModel.ONE_PORT_FULL)
+        assert_schedule_valid(cube4, bad, PortModel.ALL_PORT)

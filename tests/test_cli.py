@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_numbers_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+    def test_broadcast_defaults(self):
+        args = build_parser().parse_args(["broadcast"])
+        assert args.dim == 5 and args.algorithm == "sbt" and args.ports == "full"
+
+
+class TestCommands:
+    def test_table5(self, capsys):
+        assert main(["table", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "BST maximum subtree sizes" in out
+        assert "52487" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "propagation delays" in capsys.readouterr().out
+
+    def test_broadcast_summary(self, capsys):
+        code = main([
+            "broadcast", "--dim", "4", "-a", "msbt", "-M", "64", "-B", "8",
+            "--ports", "full",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routing steps     : 12" in out  # 8 packets + log N
+        assert "msbt-broadcast" in out
+
+    def test_scatter_summary(self, capsys):
+        code = main(["scatter", "--dim", "4", "-a", "bst", "-M", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scatter on Hypercube" in out
+        assert "source port skew" in out
+
+    def test_scatter_sbt_shows_imbalance(self, capsys):
+        main(["scatter", "--dim", "5", "-a", "sbt", "-M", "4", "-B", "9999"])
+        out = capsys.readouterr().out
+        skew = float(out.split("source port skew  :")[1].split("x")[0])
+        assert skew == pytest.approx(16.0)
+
+    def test_ipsc_flag(self, capsys):
+        code = main([
+            "broadcast", "--dim", "3", "-a", "sbt", "-M", "2048", "--ipsc",
+        ])
+        assert code == 0
+        assert "iPSC/d7" in capsys.readouterr().out
+
+    def test_figure_command_dispatches(self, capsys, monkeypatch):
+        # patch in a tiny stand-in so the test stays fast
+        from repro import experiments
+        from repro.experiments.harness import TableReport
+
+        stub = TableReport("Figure 7 — stub", ["x"], [[1]])
+        monkeypatch.setattr(experiments, "run_fig7", lambda: stub)
+        assert main(["figure", "7"]) == 0
+        assert "Figure 7 — stub" in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Unit tests for embedding quality metrics."""
+
+import pytest
+
+from repro.bits.gray import hamiltonian_path
+from repro.topology import Hypercube, evaluate_embedding
+from repro.trees import TwoRootedCompleteBinaryTree
+
+
+class TestEvaluateEmbedding:
+    def test_identity_embedding_is_perfect(self):
+        cube = Hypercube(3)
+        placement = {v: v for v in cube.nodes()}
+        guest_edges = list(cube.links())
+        m = evaluate_embedding(cube, placement, guest_edges)
+        assert m.dilation == 1
+        assert m.load == 1
+        assert m.expansion == 1.0
+
+    def test_hamiltonian_path_has_dilation_one(self):
+        cube = Hypercube(4)
+        path = hamiltonian_path(4)
+        placement = {i: node for i, node in enumerate(path)}
+        guest_edges = [(i, i + 1) for i in range(len(path) - 1)]
+        m = evaluate_embedding(cube, placement, guest_edges)
+        assert m.dilation == 1
+        assert m.congestion == 1
+
+    def test_tcbt_embedding_has_dilation_one(self):
+        # the headline TCBT property: a spanning, dilation-1 embedding
+        for n in (2, 3, 5, 7):
+            cube = Hypercube(n)
+            tree = TwoRootedCompleteBinaryTree(cube)
+            placement = {v: v for v in cube.nodes()}
+            guest_edges = [(e.src, e.dst) for e in tree.edges()]
+            m = evaluate_embedding(cube, placement, guest_edges)
+            assert m.dilation == 1, n
+            assert m.load == 1 and m.expansion == 1.0
+
+    def test_dilated_edge_detected(self):
+        cube = Hypercube(3)
+        m = evaluate_embedding(cube, {0: 0, 1: 7}, [(0, 1)])
+        assert m.dilation == 3
+
+    def test_doubled_load_detected(self):
+        cube = Hypercube(2)
+        m = evaluate_embedding(cube, {0: 1, 1: 1}, [])
+        assert m.load == 2
+        assert m.expansion == 2.0
+
+    def test_unplaced_node_rejected(self):
+        cube = Hypercube(2)
+        with pytest.raises(ValueError, match="unplaced"):
+            evaluate_embedding(cube, {0: 0}, [(0, 1)])
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_embedding(Hypercube(2), {}, [])

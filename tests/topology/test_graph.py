@@ -1,0 +1,80 @@
+"""Unit tests for spanning-structure validation helpers."""
+
+import pytest
+
+from repro.topology import (
+    DirectedEdge,
+    Hypercube,
+    bfs_levels,
+    check_spanning_tree,
+    edges_are_disjoint,
+    is_cube_edge,
+    tree_edges_from_parents,
+)
+
+
+def _star_parents(cube: Hypercube) -> dict[int, int | None]:
+    """A simple valid spanning tree of a 2-cube rooted at 0."""
+    return {0: None, 1: 0, 2: 0, 3: 1}
+
+
+class TestCheckSpanningTree:
+    def test_accepts_valid_tree(self):
+        cube = Hypercube(2)
+        check_spanning_tree(cube, 0, _star_parents(cube))
+
+    def test_rejects_missing_node(self):
+        cube = Hypercube(2)
+        bad = _star_parents(cube)
+        del bad[3]
+        with pytest.raises(ValueError, match="does not cover"):
+            check_spanning_tree(cube, 0, bad)
+
+    def test_rejects_two_roots(self):
+        cube = Hypercube(2)
+        bad = _star_parents(cube)
+        bad[3] = None
+        with pytest.raises(ValueError, match="parentless"):
+            check_spanning_tree(cube, 0, bad)
+
+    def test_rejects_non_cube_edge(self):
+        cube = Hypercube(2)
+        bad = _star_parents(cube)
+        bad[3] = 0  # 0 and 3 differ in two bits
+        with pytest.raises(ValueError, match="not a cube edge"):
+            check_spanning_tree(cube, 0, bad)
+
+    def test_rejects_cycle(self):
+        cube = Hypercube(2)
+        bad = {0: None, 1: 3, 3: 1, 2: 0}
+        with pytest.raises(ValueError, match="cycle"):
+            check_spanning_tree(cube, 0, bad)
+
+
+class TestEdgeHelpers:
+    def test_is_cube_edge(self):
+        cube = Hypercube(3)
+        assert is_cube_edge(cube, DirectedEdge(0, 4))
+        assert not is_cube_edge(cube, DirectedEdge(0, 3))
+
+    def test_tree_edges_from_parents(self):
+        edges = tree_edges_from_parents({0: None, 1: 0, 3: 1})
+        assert set(edges) == {DirectedEdge(0, 1), DirectedEdge(1, 3)}
+
+    def test_edges_are_disjoint(self):
+        a = [DirectedEdge(0, 1), DirectedEdge(1, 3)]
+        b = [DirectedEdge(0, 2)]
+        assert edges_are_disjoint([a, b])
+        assert not edges_are_disjoint([a, a])
+        # opposite directions of the same link are distinct edges
+        assert edges_are_disjoint([[DirectedEdge(0, 1)], [DirectedEdge(1, 0)]])
+
+
+class TestBfsLevels:
+    def test_levels(self):
+        levels = bfs_levels(0, {0: [1, 2], 1: [3], 2: [], 3: []})
+        assert levels == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_rejects_reconvergence(self):
+        with pytest.raises(ValueError, match="not a tree"):
+            bfs_levels(0, {0: [1, 2], 1: [3], 2: [3], 3: []})

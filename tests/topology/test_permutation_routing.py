@@ -1,0 +1,92 @@
+"""Tests for e-cube and Valiant permutation routing."""
+
+import random
+
+import pytest
+
+from repro.topology import Hypercube
+from repro.topology.permutation_routing import (
+    bit_reversal_permutation,
+    ecube_path,
+    link_congestion,
+    route_permutation,
+    transpose_permutation,
+    valiant_route_permutation,
+)
+
+
+class TestEcube:
+    def test_path_is_minimal_and_valid(self, cube4):
+        p = ecube_path(cube4, 0b0011, 0b1100)
+        assert p[0] == 0b0011 and p[-1] == 0b1100
+        assert len(p) - 1 == 4
+        for a, b in zip(p, p[1:]):
+            assert cube4.are_adjacent(a, b)
+
+    def test_identity_permutation_moves_nothing(self, cube4):
+        paths = route_permutation(cube4, {v: v for v in cube4.nodes()})
+        assert all(len(p) == 1 for p in paths.values())
+        assert not link_congestion(paths)
+
+    def test_shift_permutation_balanced(self, cube4):
+        perm = {v: v ^ 0b0101 for v in cube4.nodes()}
+        load = link_congestion(route_permutation(cube4, perm))
+        assert set(load.values()) == {1}
+
+    def test_not_a_permutation_rejected(self, cube4):
+        with pytest.raises(ValueError, match="not a permutation"):
+            route_permutation(cube4, {v: 0 for v in cube4.nodes()})
+
+
+class TestAdversarialPermutations:
+    def test_transpose_is_a_permutation(self):
+        cube = Hypercube(6)
+        perm = transpose_permutation(cube)
+        assert sorted(perm.values()) == list(cube.nodes())
+        assert perm[0b000111] == 0b111000
+
+    def test_transpose_needs_even_dimension(self):
+        with pytest.raises(ValueError):
+            transpose_permutation(Hypercube(5))
+
+    def test_bit_reversal_is_involution(self, cube5):
+        perm = bit_reversal_permutation(cube5)
+        assert sorted(perm.values()) == list(cube5.nodes())
+        for v in cube5.nodes():
+            assert perm[perm[v]] == v
+
+    def test_transpose_congests_ecube_by_order_sqrt_n(self):
+        # the classic oblivious-routing bad case: e-cube funnels on the
+        # order of sqrt(N) sources through single links (vs load 1 for
+        # a translation permutation)
+        cube = Hypercube(8)
+        load = link_congestion(route_permutation(cube, transpose_permutation(cube)))
+        assert max(load.values()) >= 8  # sqrt(256) / 2
+
+
+class TestValiant:
+    def test_paths_reach_destinations(self, cube5):
+        perm = bit_reversal_permutation(cube5)
+        paths = valiant_route_permutation(cube5, perm, random.Random(1))
+        for s, path in paths.items():
+            assert path[0] == s and path[-1] == perm[s]
+            for a, b in zip(path, path[1:]):
+                assert cube5.are_adjacent(a, b)
+
+    def test_randomization_beats_ecube_on_transpose(self):
+        cube = Hypercube(8)
+        perm = transpose_permutation(cube)
+        ecube_load = link_congestion(route_permutation(cube, perm))
+        best_valiant = min(
+            max(link_congestion(
+                valiant_route_permutation(cube, perm, random.Random(seed))
+            ).values())
+            for seed in range(3)
+        )
+        assert best_valiant < max(ecube_load.values())
+
+    def test_deterministic_with_seed(self, cube4):
+        perm = {v: v ^ 7 for v in cube4.nodes()}
+        a = valiant_route_permutation(cube4, perm, random.Random(9))
+        b = valiant_route_permutation(cube4, perm, random.Random(9))
+        assert a == b

@@ -1,0 +1,99 @@
+"""Unit tests for the shared SpanningTree machinery."""
+
+import pytest
+
+from repro.topology import Hypercube
+from repro.trees import SpanningBinomialTree
+from repro.trees.base import SpanningTree
+
+
+class _BrokenTree(SpanningTree):
+    """Parent function that skips half the cube (for validation tests)."""
+
+    def parent(self, node):
+        if node == self.root:
+            return None
+        if node % 2 == 0:
+            return node ^ (node & -node)
+        return None  # a second root -> invalid
+
+
+class TestDerivedStructure:
+    def test_children_map_inverts_parents(self, cube4):
+        t = SpanningBinomialTree(cube4, 7)
+        for v in cube4.nodes():
+            for c in t.children_map[v]:
+                assert t.parents_map[c] == v
+        n_edges = sum(len(k) for k in t.children_map.values())
+        assert n_edges == cube4.num_nodes - 1
+
+    def test_edges_count(self, cube4):
+        t = SpanningBinomialTree(cube4)
+        assert len(t.edges()) == 15
+
+    def test_levels_and_height(self, cube4):
+        t = SpanningBinomialTree(cube4, 0)
+        assert t.levels[0] == 0
+        assert t.height == 4
+        assert sum(t.level_counts()) == 16
+
+    def test_relative(self, cube4):
+        t = SpanningBinomialTree(cube4, 9)
+        assert t.relative(9) == 0
+        assert t.relative(0) == 9
+
+    def test_subtree_of_and_sizes(self, cube4):
+        t = SpanningBinomialTree(cube4, 0)
+        for v in cube4.nodes():
+            assert len(t.subtree_of(v)) == t.subtree_sizes[v]
+        assert t.subtree_sizes[0] == 16
+        leaf = 0b1000
+        assert t.subtree_of(leaf) == (leaf,)
+
+    def test_descendant_counts(self, cube4):
+        t = SpanningBinomialTree(cube4, 0)
+        counts = t.descendant_counts_by_distance(0)
+        assert counts == [1, 4, 6, 4, 1]
+        assert sum(counts) == 16
+
+
+class TestTraversals:
+    def test_preorder_visits_all_once(self, cube4):
+        t = SpanningBinomialTree(cube4, 0)
+        order = t.preorder()
+        assert sorted(order) == list(range(16))
+        assert order[0] == 0
+        # parents precede children
+        pos = {v: i for i, v in enumerate(order)}
+        for v in cube4.nodes():
+            p = t.parents_map[v]
+            if p is not None:
+                assert pos[p] < pos[v]
+
+    def test_preorder_subtree(self, cube4):
+        t = SpanningBinomialTree(cube4, 0)
+        sub = t.preorder(1)
+        assert set(sub) == set(t.subtree_of(1))
+        assert sub[0] == 1
+
+    def test_breadth_first_levels_monotone(self, cube4):
+        t = SpanningBinomialTree(cube4, 0)
+        order = t.breadth_first()
+        lv = [t.levels[v] for v in order]
+        assert lv == sorted(lv)
+
+    def test_reversed_breadth_first_deepest_first(self, cube4):
+        t = SpanningBinomialTree(cube4, 0)
+        order = t.reversed_breadth_first()
+        lv = [t.levels[v] for v in order]
+        assert lv == sorted(lv, reverse=True)
+        assert order[0] == 0b1111
+
+
+class TestValidation:
+    def test_broken_tree_rejected(self, cube4):
+        with pytest.raises(ValueError):
+            _BrokenTree(cube4, 0).validate()
+
+    def test_repr(self, cube4):
+        assert "SpanningBinomialTree" in repr(SpanningBinomialTree(cube4))

@@ -1,0 +1,173 @@
+"""Unit tests for the Balanced Spanning Tree (§4.1), including every
+numbered property the paper lists."""
+
+from math import ceil
+
+import pytest
+
+from repro.bits.necklaces import is_cyclic, period
+from repro.topology import Hypercube
+from repro.trees import BalancedSpanningTree, bst_subtree_index, max_subtree_size
+from repro.trees.sbt import SpanningBinomialTree
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7])
+    def test_spans_and_validates(self, n):
+        BalancedSpanningTree(Hypercube(n)).validate()
+
+    def test_translated_roots_validate(self, cube5):
+        for root in (7, 21, 31):
+            BalancedSpanningTree(cube5, root).validate()
+
+    def test_root_has_n_children(self, cube):
+        t = BalancedSpanningTree(cube)
+        assert len(t.children(t.root)) == cube.dimension
+
+    def test_translation_maps_trees(self, cube4):
+        t0 = BalancedSpanningTree(cube4, 0)
+        s = 13
+        ts = BalancedSpanningTree(cube4, s)
+        for v in cube4.nodes():
+            p0 = t0.parent(v)
+            assert ts.parent(v ^ s) == (None if p0 is None else p0 ^ s)
+
+    def test_parent_preserves_base(self):
+        # the key lemma: complementing bit k cannot change the base
+        for n in (4, 5, 6, 7):
+            t = BalancedSpanningTree(Hypercube(n))
+            for v in range(1, 1 << n):
+                p = t.parent(v)
+                assert p is not None
+                if p != 0:
+                    assert t.subtree_index(p) == t.subtree_index(v), (n, v)
+
+
+class TestTable5:
+    def test_closed_form_matches_paper(self):
+        from repro.experiments.tables import PAPER_TABLE5
+
+        for n, want in PAPER_TABLE5.items():
+            assert max_subtree_size(n) == want, n
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8, 9, 10])
+    def test_constructed_max_matches_closed_form(self, n):
+        t = BalancedSpanningTree(Hypercube(n))
+        assert max(map(len, t.subtree_node_lists)) == max_subtree_size(n)
+
+    def test_subtree_sizes_sum_to_n_minus_one(self, cube):
+        t = BalancedSpanningTree(cube)
+        assert sum(map(len, t.subtree_node_lists)) == cube.num_nodes - 1
+
+    def test_balance_ratio_approaches_one(self):
+        r6 = BalancedSpanningTree(Hypercube(6)).balance_ratio()
+        r10 = BalancedSpanningTree(Hypercube(10)).balance_ratio()
+        assert r10 < r6
+        assert r10 < 1.06
+
+    def test_subtree_j_counts_necklaces_of_period_above_j(self):
+        # structural reason behind Table 5: subtree j holds one member
+        # of every necklace with period > j
+        from repro.bits.necklaces import necklace_representatives
+
+        n = 6
+        t = BalancedSpanningTree(Hypercube(n))
+        reps = [r for r in necklace_representatives(n) if r != 0]
+        for j in range(n):
+            expected = sum(1 for r in reps if period(r, n) > j)
+            assert len(t.subtree_node_lists[j]) == expected, j
+
+
+class TestPaperProperties:
+    """Properties 1-6 of §4.1."""
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_property1_heights(self, n):
+        # one subtree of height log N, the others log N - 1
+        t = BalancedSpanningTree(Hypercube(n))
+        heights = []
+        for j in range(n):
+            members = t.subtree_node_lists[j]
+            heights.append(max(t.levels[v] for v in members))
+        assert sorted(heights)[-1] == n
+        assert all(h == n - 1 for h in sorted(heights)[:-1])
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_property2_fanout_bound(self, n):
+        # max fanout at level i is ceil((log N - i) / 2) for 1 <= i
+        t = BalancedSpanningTree(Hypercube(n))
+        for v in range(1, 1 << n):
+            i = t.levels[v]
+            assert len(t.children(v)) <= ceil((n - i) / 2), (v, i)
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_property3_phi_monotone(self, n):
+        # phi(i, d) >= phi(child, d): the root-ward node always has at
+        # least as many descendants at each depth offset
+        t = BalancedSpanningTree(Hypercube(n))
+        for v in range(1 << n):
+            mine = t.descendant_counts_by_distance(v)
+            for child in t.children(v):
+                theirs = t.descendant_counts_by_distance(child)
+                for d, count in enumerate(theirs):
+                    assert mine[d] >= count if d < len(mine) else count == 0
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_property4_isomorphic_subtrees_for_prime_n(self, n):
+        # excluding the all-ones node, subtrees are isomorphic when n prime
+        t = BalancedSpanningTree(Hypercube(n))
+        shapes = []
+        ones = (1 << n) - 1
+        for j in range(n):
+            members = [v for v in t.subtree_node_lists[j] if v != ones]
+            profile = sorted(
+                (t.levels[v], len([c for c in t.children(v) if c != ones]))
+                for v in members
+            )
+            shapes.append(profile)
+        assert all(s == shapes[0] for s in shapes[1:])
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_property5_no_short_period_in_high_subtrees(self, n):
+        # subtrees P..n-1 contain no cyclic node of period P
+        t = BalancedSpanningTree(Hypercube(n))
+        for j in range(n):
+            for v in t.subtree_node_lists[j]:
+                p = period(v, n)
+                if p < n:  # cyclic
+                    assert j < p, (v, p, j)
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 8])
+    def test_property6_cyclic_nodes_are_leaves(self, n):
+        t = BalancedSpanningTree(Hypercube(n))
+        for v in range(1, 1 << n):
+            if is_cyclic(v, n):
+                assert t.is_leaf(v), v
+
+
+class TestBalanceVsSbt:
+    def test_bst_root_ports_balanced_sbt_not(self):
+        # the whole point of §4: SBT subtree 0 has N/2 nodes, BST ~ N/log N
+        n = 6
+        cube = Hypercube(n)
+        sbt = SpanningBinomialTree(cube)
+        bst = BalancedSpanningTree(cube)
+        sbt_max = max(len(v) for v in sbt.root_subtrees.values())
+        bst_max = max(map(len, bst.subtree_node_lists))
+        assert sbt_max == cube.num_nodes // 2
+        assert bst_max < sbt_max / 2
+
+    def test_subtree_index_helpers(self, cube4):
+        t = BalancedSpanningTree(cube4, 0)
+        for v in range(1, 16):
+            assert t.subtree_index(v) == bst_subtree_index(v, 0, 4)
+        with pytest.raises(ValueError):
+            t.subtree_index(0)
+
+    def test_cyclic_node_helpers(self, cube4):
+        t = BalancedSpanningTree(cube4, 0)
+        assert t.is_cyclic_node(0b0101)
+        assert not t.is_cyclic_node(0b0001)
+        assert t.node_period(0b0101) == 2
+        with pytest.raises(ValueError):
+            t.node_period(0)

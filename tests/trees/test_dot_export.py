@@ -1,0 +1,26 @@
+"""Tests for the Graphviz DOT export."""
+
+from repro.topology import Hypercube
+from repro.trees import BalancedSpanningTree, SpanningBinomialTree
+
+
+class TestToDot:
+    def test_contains_all_edges(self, cube4):
+        tree = SpanningBinomialTree(cube4, 0)
+        dot = tree.to_dot()
+        assert dot.startswith("digraph tree {")
+        assert dot.count("->") == 15
+        assert '"0000" [shape=doublecircle]' in dot
+
+    def test_decimal_labels(self, cube4):
+        dot = BalancedSpanningTree(cube4, 5).to_dot(label_bits=False)
+        assert '"5" [shape=doublecircle]' in dot
+
+    def test_valid_edges_only(self, cube4):
+        tree = BalancedSpanningTree(cube4, 0)
+        dot = tree.to_dot(label_bits=False)
+        for line in dot.splitlines():
+            if "->" in line:
+                a, b = line.strip().strip(";").split(" -> ")
+                u, v = int(a.strip('"')), int(b.strip('"'))
+                assert cube4.are_adjacent(u, v)

@@ -1,0 +1,38 @@
+"""Unit tests for the Hamiltonian-path spanning tree."""
+
+import pytest
+
+from repro.topology import Hypercube
+from repro.trees import HamiltonianPathTree
+
+
+class TestHamiltonianPathTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7])
+    def test_spans_and_validates(self, n):
+        HamiltonianPathTree(Hypercube(n)).validate()
+
+    def test_height_is_N_minus_one(self, cube):
+        t = HamiltonianPathTree(cube)
+        assert t.height == cube.num_nodes - 1
+
+    def test_path_structure(self, cube4):
+        t = HamiltonianPathTree(cube4, 5)
+        p = t.path
+        assert p[0] == 5
+        assert sorted(p) == list(range(16))
+        # a path: every node except the last has exactly one child
+        for v in p[:-1]:
+            assert len(t.children(v)) == 1
+        assert t.children(p[-1]) == ()
+
+    def test_position_equals_level(self, cube4):
+        t = HamiltonianPathTree(cube4, 3)
+        for i, v in enumerate(t.path):
+            assert t.position(v) == i == t.levels[v]
+
+    def test_parent_follows_path(self, cube4):
+        t = HamiltonianPathTree(cube4, 0)
+        p = t.path
+        for a, b in zip(p, p[1:]):
+            assert t.parent(b) == a
+        assert t.parent(p[0]) is None

@@ -1,0 +1,74 @@
+"""Unit tests for the §3.4 Hamiltonian-path variations."""
+
+import pytest
+
+from repro.bits.ops import hamming_distance
+from repro.topology import Hypercube
+from repro.trees import CenteredHamiltonianPathTree, HamiltonianPathTree, hamiltonian_cycle
+
+
+class TestHamiltonianCycle:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7])
+    def test_is_a_cycle(self, n):
+        c = hamiltonian_cycle(n)
+        assert sorted(c) == list(range(1 << n))
+        for a, b in zip(c, c[1:]):
+            assert hamming_distance(a, b) == 1
+        assert hamming_distance(c[-1], c[0]) == 1
+
+    def test_translated_start(self):
+        c = hamiltonian_cycle(4, start=9)
+        assert c[0] == 9
+        assert sorted(c) == list(range(16))
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            hamiltonian_cycle(1)
+        with pytest.raises(ValueError):
+            hamiltonian_cycle(3, start=8)
+
+
+class TestCenteredTree:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_spans_and_validates(self, n):
+        CenteredHamiltonianPathTree(Hypercube(n)).validate()
+
+    @pytest.mark.parametrize("root", [0, 5, 15])
+    def test_arbitrary_roots(self, root):
+        t = CenteredHamiltonianPathTree(Hypercube(4), root)
+        t.validate()
+        assert t.root == root
+
+    def test_root_has_two_arms(self, cube4):
+        t = CenteredHamiltonianPathTree(cube4)
+        assert len(t.children(0)) == 2
+        a, b = t.arms
+        assert len(a) + len(b) == 15
+        assert abs(len(a) - len(b)) <= 1
+
+    def test_height_halves_the_path(self, cube5):
+        plain = HamiltonianPathTree(cube5)
+        centered = CenteredHamiltonianPathTree(cube5)
+        assert plain.height == 31
+        assert centered.height == 16  # N/2 (the paper's factor of two)
+
+    def test_arms_are_paths(self, cube4):
+        t = CenteredHamiltonianPathTree(cube4)
+        for v in cube4.nodes():
+            assert len(t.children_map[v]) <= (2 if v == t.root else 1)
+
+    def test_broadcast_delay_halved(self, cube5):
+        # propagation delay N/2 vs N-1 for a single packet, all models
+        from repro.routing import tree_broadcast_schedule
+        from repro.sim import PortModel, run_synchronous
+
+        for pm in PortModel:
+            plain = tree_broadcast_schedule(
+                HamiltonianPathTree(cube5), 1, 1, pm
+            )
+            centered = tree_broadcast_schedule(
+                CenteredHamiltonianPathTree(cube5), 1, 1, pm
+            )
+            rp = run_synchronous(cube5, plain, pm, {0: set(plain.chunk_sizes)})
+            rc = run_synchronous(cube5, centered, pm, {0: set(centered.chunk_sizes)})
+            assert rc.cycles <= rp.cycles / 2 + 2, pm

@@ -1,0 +1,131 @@
+"""Unit tests for the MSBT graph and its edge labelling (§3.2-3.3)."""
+
+import pytest
+
+from repro.bits.ops import bit, flip_bit
+from repro.topology import DirectedEdge, Hypercube
+from repro.trees import MSBTGraph, msbt_k, msbt_label, msbt_zero_span
+
+
+class TestMsbtK:
+    def test_k_of_zero_is_minus_one(self):
+        assert msbt_k(0, 2, 4) == -1
+
+    def test_k_of_single_bit_j_is_j(self):
+        # "k = j, if every bit but j is 0"
+        for n in (3, 5):
+            for j in range(n):
+                assert msbt_k(1 << j, j, n) == j
+
+    def test_k_scans_cyclically_right(self):
+        # first 1-bit at positions j-1, j-2, ..., wrapping
+        assert msbt_k(0b0110, 3, 4) == 2
+        assert msbt_k(0b0110, 1, 4) == 2  # wraps: 0 is clear, 3 clear, 2 set
+        assert msbt_k(0b1000, 1, 4) == 3
+
+    def test_zero_span_between_k_and_j(self):
+        assert msbt_zero_span(0b0001, 3, 4) == (2, 1)
+        assert msbt_zero_span(0, 2, 4) == ()
+        # c = 2^j: span covers every other position
+        assert set(msbt_zero_span(0b0100, 2, 4)) == {0, 1, 3}
+
+
+class TestGraphStructure:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    @pytest.mark.parametrize("source", [0, 1])
+    def test_validate(self, n, source):
+        g = MSBTGraph(Hypercube(n), source)
+        g.validate()
+
+    def test_each_tree_spans(self, cube4):
+        g = MSBTGraph(cube4, 3)
+        for t in g.trees:
+            t.validate()
+            assert len(t.levels) == 16
+
+    def test_trees_are_edge_disjoint_using_all_but_n_edges(self, cube4):
+        g = MSBTGraph(cube4, 0)
+        all_edges = g.all_edges()
+        assert len(all_edges) == (16 - 1) * 4
+        unused = g.unused_edges()
+        assert unused == {DirectedEdge(1 << j, 0) for j in range(4)}
+
+    def test_height_is_log_n_plus_one(self):
+        for n in (2, 3, 4, 5, 6):
+            assert MSBTGraph(Hypercube(n)).height == n + 1, n
+
+    def test_internal_nodes_have_bit_j_set(self, cube4):
+        # all nodes with relative bit j = 0 are leaves of the j-th ERSBT
+        g = MSBTGraph(cube4, 6)
+        for j, t in enumerate(g.trees):
+            for v in cube4.nodes():
+                c = v ^ 6
+                if c == 0:
+                    continue
+                if bit(c, j):
+                    assert not t.is_leaf(v) or t.children(v) == ()
+                else:
+                    assert t.is_leaf(v), (j, v)
+
+    def test_ersbt_root_is_source_neighbor(self, cube4):
+        g = MSBTGraph(cube4, 9)
+        for j, t in enumerate(g.trees):
+            assert t.children(9) == (flip_bit(9, j),)
+
+    def test_figure2_three_cube(self):
+        # Figure 2: tree 0 of the MSBT at source 0 in a 3-cube
+        g = MSBTGraph(Hypercube(3), 0)
+        t0 = g.trees[0]
+        assert t0.children(0) == (1,)
+        assert set(t0.children(1)) == {3, 5}       # zero span of 001 from j=0
+        assert t0.parent(3) == 1
+        assert t0.parent(7) in (3, 5)
+
+
+class TestLabelling:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_three_conditions(self, n):
+        MSBTGraph(Hypercube(n)).validate_labelling()
+
+    def test_three_conditions_translated(self):
+        MSBTGraph(Hypercube(4), 13).validate_labelling()
+
+    def test_max_label_is_2n_minus_1(self):
+        for n in (2, 3, 4, 5):
+            assert MSBTGraph(Hypercube(n)).max_label() == 2 * n - 1
+
+    def test_label_cases(self):
+        n = 3
+        # source has no input edge
+        assert msbt_label(0, 0, 0, n) is None
+        # ERSBT root (c = 2^j): k = j >= j -> label j
+        for j in range(n):
+            assert msbt_label(1 << j, j, 0, n) == j
+        # leaf (c_j = 0): label j + n
+        assert msbt_label(0b010, 0, 0, n) == 0 + n
+
+    def test_figure3_labels(self):
+        # Labels of tree 0 in the 3-cube MSBT at source 0, from the
+        # definition of f: root (c=001) -> k=j=0 -> 0; internal 011 ->
+        # k=1>=j -> 1; internal 101 -> k=2>=j -> 2; internal 111 ->
+        # k=1 -> 1?  No: c=111, j=0: scan 2,1 -> k=2 >= 0 -> 2.
+        g = MSBTGraph(Hypercube(3), 0)
+        labels = {v: g.label(v, 0) for v in range(8)}
+        assert labels[0b000] is None   # source
+        assert labels[0b001] == 0      # tree root
+        assert labels[0b011] == 1
+        assert labels[0b101] == 2
+        assert labels[0b111] == 2      # c=111: first 1 right of 0 is pos 2
+        assert labels[0b010] == 3      # leaf: j + n
+        assert labels[0b100] == 3      # leaf: j + n
+        assert labels[0b110] == 3      # leaf: j + n
+
+    def test_labels_strictly_increase_along_paths(self, cube5):
+        g = MSBTGraph(cube5, 17)
+        for j, t in enumerate(g.trees):
+            for v in cube5.nodes():
+                lab = t.label(v)
+                for child in t.children(v):
+                    child_lab = t.label(child)
+                    if lab is not None:
+                        assert child_lab > lab

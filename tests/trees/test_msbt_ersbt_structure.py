@@ -1,0 +1,67 @@
+"""Deeper structural checks on the ERSBTs (§3.2)."""
+
+import pytest
+
+from repro.bits.ops import bit, popcount
+from repro.topology import Hypercube
+from repro.trees import MSBTGraph
+
+
+class TestErsbtStructure:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_internal_node_count_is_half(self, n):
+        # internal nodes of tree j = nodes with relative bit j set
+        g = MSBTGraph(Hypercube(n))
+        for j, t in enumerate(g.trees):
+            internal = [
+                v for v in range(1 << n)
+                if v != 0 and t.children(v)
+            ]
+            assert all(bit(v, j) for v in internal)
+            with_bit = [v for v in range(1 << n) if bit(v, j)]
+            leaves_with_bit = [v for v in with_bit if not t.children(v)]
+            # only the deepest chain nodes with bit j set may be
+            # childless; count: internal + leaves_with_bit == N/2
+            assert len(internal) + len(leaves_with_bit) == (1 << n) // 2
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_leaf_depth_at_most_height(self, n):
+        g = MSBTGraph(Hypercube(n))
+        for t in g.trees:
+            assert t.height <= n + 1
+            # leaves with c_j = 0 hang exactly one hop below an internal node
+            for v in range(1 << n):
+                if v == 0:
+                    continue
+                if not bit(v, t.tree_index):
+                    parent = t.parent(v)
+                    assert parent == v ^ (1 << t.tree_index)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_trees_related_by_rotation(self, n):
+        # tree j at source 0 is tree 0 with all addresses rotated left
+        # by j (the construction "rotates" the SBTs)
+        from repro.bits.ops import rotate_left
+
+        g = MSBTGraph(Hypercube(n))
+        t0 = g.trees[0]
+        for j in range(1, n):
+            tj = g.trees[j]
+            for v in range(1 << n):
+                p0 = t0.parent(v)
+                rotated = rotate_left(v, j, n)
+                pj = tj.parent(rotated)
+                assert pj == (None if p0 is None else rotate_left(p0, j, n)), (j, v)
+
+    def test_source_out_degree_one_per_tree(self, cube5):
+        g = MSBTGraph(cube5, 7)
+        for j, t in enumerate(g.trees):
+            kids = t.children(7)
+            assert len(kids) == 1
+            assert kids[0] == 7 ^ (1 << j)
+
+    def test_ersbt_root_subtree_is_whole_cube(self, cube4):
+        g = MSBTGraph(cube4, 0)
+        for j, t in enumerate(g.trees):
+            root_child = 1 << j
+            assert len(t.subtree_of(root_child)) == cube4.num_nodes - 1

@@ -1,0 +1,53 @@
+"""Root-subtree bookkeeping across all tree types."""
+
+import pytest
+
+from repro.topology import Hypercube
+from repro.trees import (
+    BalancedSpanningTree,
+    CenteredHamiltonianPathTree,
+    HamiltonianPathTree,
+    SpanningBinomialTree,
+    TwoRootedCompleteBinaryTree,
+)
+
+ALL_TREES = (
+    SpanningBinomialTree,
+    BalancedSpanningTree,
+    TwoRootedCompleteBinaryTree,
+    HamiltonianPathTree,
+    CenteredHamiltonianPathTree,
+)
+
+
+class TestRootSubtrees:
+    @pytest.mark.parametrize("cls", ALL_TREES)
+    def test_partition_non_root_nodes(self, cube4, cls):
+        tree = cls(cube4, 0)
+        seen: set[int] = set()
+        for child, members in tree.root_subtrees.items():
+            assert child in members
+            assert not (set(members) & seen)
+            seen |= set(members)
+        assert seen == set(cube4.nodes()) - {0}
+
+    @pytest.mark.parametrize("cls", ALL_TREES)
+    def test_sizes_sum(self, cube4, cls):
+        tree = cls(cube4, 0)
+        assert sum(len(m) for m in tree.root_subtrees.values()) == 15
+
+    def test_subtree_counts_by_type(self, cube4):
+        assert len(SpanningBinomialTree(cube4, 0).root_subtrees) == 4
+        assert len(BalancedSpanningTree(cube4, 0).root_subtrees) == 4
+        # the TCBT routing root R1 has two children: the co-root R2 and
+        # its own complete-binary-subtree head
+        assert len(TwoRootedCompleteBinaryTree(cube4, 0).root_subtrees) == 2
+        assert len(HamiltonianPathTree(cube4, 0).root_subtrees) == 1
+        assert len(CenteredHamiltonianPathTree(cube4, 0).root_subtrees) == 2
+
+    @pytest.mark.parametrize("cls", ALL_TREES)
+    def test_members_live_below_their_child(self, cube4, cls):
+        tree = cls(cube4, 0)
+        for child, members in tree.root_subtrees.items():
+            below = set(tree.subtree_of(child))
+            assert set(members) == below

@@ -1,0 +1,103 @@
+"""Unit tests for the Spanning Binomial Tree (§3.1)."""
+
+from math import comb
+
+import pytest
+
+from repro.bits.ops import popcount
+from repro.topology import Hypercube
+from repro.trees import SpanningBinomialTree, sbt_children, sbt_parent
+
+
+class TestStructure:
+    def test_figure1_tree(self):
+        # Figure 1: the SBT rooted at 0 in a 4-cube
+        t = SpanningBinomialTree(Hypercube(4), 0)
+        assert t.children(0) == (1, 2, 4, 8)
+        assert t.children(1) == (3, 5, 9)
+        assert t.children(3) == (7, 11)
+        assert t.children(7) == (15,)
+        assert t.children(8) == ()
+        assert t.parent(15) == 7
+        assert t.parent(10) == 2
+
+    def test_spans_and_validates(self, cube):
+        for root in (0, cube.num_nodes - 1, 5 % cube.num_nodes):
+            t = SpanningBinomialTree(cube, root)
+            t.validate()
+
+    def test_height_is_n(self, cube):
+        assert SpanningBinomialTree(cube).height == cube.dimension
+
+    def test_level_counts_are_binomial(self, cube):
+        t = SpanningBinomialTree(cube, 3 % cube.num_nodes)
+        counts = t.level_counts()
+        n = cube.dimension
+        assert counts == [comb(n, i) for i in range(n + 1)]
+
+    def test_level_equals_relative_popcount(self, cube4):
+        t = SpanningBinomialTree(cube4, 6)
+        for v in cube4.nodes():
+            assert t.level(v) == popcount(v ^ 6)
+            assert t.levels[v] == t.level(v)
+
+    def test_parent_strips_highest_relative_bit(self, cube4):
+        t = SpanningBinomialTree(cube4, 0)
+        assert t.parent(0b1101) == 0b0101
+        assert t.parent(0b0001) == 0
+        assert t.parent(0) is None
+
+    def test_children_flip_leading_zeroes(self):
+        n = 5
+        assert sbt_children(0b00100, 0, n) == (0b01100, 0b10100)
+        assert sbt_children(0, 0, n) == (1, 2, 4, 8, 16)
+        assert sbt_parent(0b01100, 0, n) == 0b00100
+
+
+class TestSubtrees:
+    def test_subtree_sizes_halve(self, cube):
+        # subtree j holds 2^(n-1-j) nodes: half the cube on port 0 (§4)
+        t = SpanningBinomialTree(cube, 0)
+        n = cube.dimension
+        for j in range(n):
+            assert t.subtree_size(j) == 1 << (n - 1 - j)
+
+    def test_subtree_index_is_lowest_set_bit(self, cube4):
+        t = SpanningBinomialTree(cube4, 0)
+        assert t.subtree_index(0b0110) == 1
+        assert t.subtree_index(0b1000) == 3
+        with pytest.raises(ValueError):
+            t.subtree_index(0)
+
+    def test_subtree_membership_consistent(self, cube4):
+        t = SpanningBinomialTree(cube4, 9)
+        for child, members in t.root_subtrees.items():
+            j = t.subtree_index(child)
+            assert len(members) == t.subtree_size(j)
+            for v in members:
+                assert t.subtree_index(v) == j
+
+    def test_root_subtree_of_port0_has_half_the_nodes(self, cube):
+        t = SpanningBinomialTree(cube, 0)
+        big = t.root_subtrees[1]  # child across port 0
+        assert len(big) == cube.num_nodes // 2
+
+
+class TestTranslation:
+    def test_translation_maps_trees(self, cube4):
+        # the tree at source s is the XOR-translate of the tree at 0 (§3.1)
+        t0 = SpanningBinomialTree(cube4, 0)
+        s = 11
+        ts = SpanningBinomialTree(cube4, s)
+        for v in cube4.nodes():
+            p0 = t0.parent(v)
+            assert ts.parent(v ^ s) == (None if p0 is None else p0 ^ s)
+
+    def test_descending_relative_order(self, cube4):
+        t = SpanningBinomialTree(cube4, 3)
+        order = t.descending_relative_order()
+        assert len(order) == 15
+        assert order[0] == 3 ^ 15
+        assert order[-1] == 3 ^ 1
+        rels = [v ^ 3 for v in order]
+        assert rels == sorted(rels, reverse=True)

@@ -1,0 +1,74 @@
+"""Unit tests for the two-rooted complete binary tree embedding."""
+
+import pytest
+
+from repro.topology import Hypercube
+from repro.trees import TwoRootedCompleteBinaryTree, build_drcbt
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n", list(range(1, 11)))
+    def test_spans_with_dilation_one(self, n):
+        cube = Hypercube(n)
+        t = TwoRootedCompleteBinaryTree(cube)
+        t.validate()  # includes the every-edge-is-a-cube-edge check
+
+    @pytest.mark.parametrize("root", [0, 1, 9, 15])
+    def test_arbitrary_roots(self, root):
+        t = TwoRootedCompleteBinaryTree(Hypercube(4), root)
+        t.validate()
+        assert t.root == root
+
+    def test_build_drcbt_returns_adjacent_roots(self):
+        for n in range(1, 9):
+            r1, r2, parents = build_drcbt(n)
+            assert r1 == 0
+            assert bin(r1 ^ r2).count("1") == 1
+            assert len(parents) == (1 << n) - 2
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            build_drcbt(0)
+
+
+class TestShape:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6, 8])
+    def test_double_rooted_complete_binary_shape(self, n):
+        t = TwoRootedCompleteBinaryTree(Hypercube(n))
+        r1 = t.root
+        r2 = t.second_root
+        kids1 = [c for c in t.children(r1) if c != r2]
+        kids2 = t.children(r2)
+        # each root has exactly one child besides the root edge
+        assert len(kids1) == (1 if n >= 2 else 0)
+        assert len(kids2) == (1 if n >= 2 else 0)
+        if n < 2:
+            return
+        # each root's child heads a complete binary tree on 2^(n-1)-1 nodes
+        for head in (kids1[0], kids2[0]):
+            sub = t.subtree_of(head)
+            assert len(sub) == (1 << (n - 1)) - 1
+            _assert_complete_binary(t, head)
+
+    def test_height_is_n(self):
+        for n in range(2, 9):
+            assert TwoRootedCompleteBinaryTree(Hypercube(n)).height == n
+
+    def test_max_fanout_is_two(self):
+        for n in range(2, 9):
+            assert TwoRootedCompleteBinaryTree(Hypercube(n)).max_fanout() == 2
+
+
+def _assert_complete_binary(tree, head) -> None:
+    """Every internal node has exactly 2 children; all leaves at one depth."""
+    depths = []
+    stack = [(head, 0)]
+    while stack:
+        node, d = stack.pop()
+        kids = tree.children(node)
+        assert len(kids) in (0, 2), (node, kids)
+        if not kids:
+            depths.append(d)
+        for c in kids:
+            stack.append((c, d + 1))
+    assert len(set(depths)) == 1, depths

@@ -1,0 +1,112 @@
+"""Tests for the vectorized tree computations against scalar truth."""
+
+import numpy as np
+import pytest
+
+from repro.bits.necklaces import base, is_cyclic
+from repro.topology import Hypercube
+from repro.trees import BalancedSpanningTree, SpanningBinomialTree, max_subtree_size
+from repro.trees.vectorized import (
+    bst_bases_array,
+    bst_parents_array,
+    bst_subtree_sizes_array,
+    cyclic_mask_array,
+    sbt_levels_array,
+    sbt_parents_array,
+)
+
+
+@pytest.mark.parametrize("n,source", [(3, 0), (5, 0), (6, 17), (8, 255)])
+class TestAgainstScalar:
+    def test_sbt_parents(self, n, source):
+        tree = SpanningBinomialTree(Hypercube(n), source)
+        got = sbt_parents_array(n, source)
+        for v in range(1 << n):
+            want = tree.parent(v)
+            assert got[v] == (-1 if want is None else want)
+
+    def test_sbt_levels(self, n, source):
+        tree = SpanningBinomialTree(Hypercube(n), source)
+        got = sbt_levels_array(n, source)
+        for v in range(1 << n):
+            assert got[v] == tree.level(v)
+
+    def test_bst_bases(self, n, source):
+        got = bst_bases_array(n, source)
+        for v in range(1 << n):
+            c = v ^ source
+            if c:
+                assert got[v] == base(c, n), v
+
+    def test_bst_parents(self, n, source):
+        tree = BalancedSpanningTree(Hypercube(n), source)
+        got = bst_parents_array(n, source)
+        for v in range(1 << n):
+            want = tree.parent(v)
+            assert got[v] == (-1 if want is None else want), v
+
+    def test_cyclic_mask(self, n, source):
+        got = cyclic_mask_array(n, source)
+        for v in range(1 << n):
+            c = v ^ source
+            assert got[v] == (is_cyclic(c, n)), v
+
+
+class TestSubtreeSizes:
+    @pytest.mark.parametrize("n", [2, 4, 6, 9])
+    def test_matches_object_tree(self, n):
+        tree = BalancedSpanningTree(Hypercube(n))
+        want = np.array([len(s) for s in tree.subtree_node_lists])
+        got = bst_subtree_sizes_array(n)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("n", list(range(2, 21)))
+    def test_table5_at_full_scale(self, n):
+        # the vectorized path makes the full Table 5 range constructible
+        sizes = bst_subtree_sizes_array(n)
+        assert int(sizes.max()) == max_subtree_size(n)
+        assert int(sizes.sum()) == (1 << n) - 1
+
+    def test_large_n_is_fast(self):
+        import time
+
+        t0 = time.perf_counter()
+        bst_subtree_sizes_array(18)
+        assert time.perf_counter() - t0 < 5.0
+
+
+class TestMsbtLabels:
+    @pytest.mark.parametrize("n,source", [(3, 0), (5, 0), (6, 17)])
+    def test_matches_scalar(self, n, source):
+        from repro.trees.msbt import msbt_label
+        from repro.trees.vectorized import msbt_labels_array
+
+        for j in range(n):
+            got = msbt_labels_array(n, j, source)
+            for v in range(1 << n):
+                want = msbt_label(v, j, source, n)
+                assert got[v] == (-1 if want is None else want), (j, v)
+
+    def test_label_range(self):
+        from repro.trees.vectorized import msbt_labels_array
+
+        n = 8
+        for j in (0, 3, 7):
+            labels = msbt_labels_array(n, j)
+            assert labels[0] == -1
+            assert labels[1:].min() >= 0
+            assert labels.max() <= 2 * n - 1
+
+    def test_bad_tree_index_rejected(self):
+        from repro.trees.vectorized import msbt_labels_array
+
+        with pytest.raises(ValueError):
+            msbt_labels_array(4, 4)
+
+
+class TestValidation:
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            sbt_parents_array(0)
+        with pytest.raises(ValueError):
+            bst_bases_array(25)
