@@ -7,6 +7,7 @@ vectorized whole-cube computations all get a timed budget.
 
 import pytest
 
+from repro import cache
 from repro.routing import bst_scatter_schedule, msbt_broadcast_schedule
 from repro.sim import IPSC_D7, PortModel, run_async, run_synchronous
 from repro.topology import Hypercube
@@ -20,8 +21,31 @@ def big_broadcast():
     return cube, sched
 
 
+@pytest.fixture(scope="module")
+def huge_broadcast():
+    cube = Hypercube(10)
+    sched = msbt_broadcast_schedule(cube, 0, 61440, 1024, PortModel.ONE_PORT_FULL)
+    return cube, sched
+
+
 def test_perf_generate_msbt_schedule(benchmark):
+    # cold generation: the schedule cache would otherwise absorb every
+    # round after the first
     cube = Hypercube(7)
+
+    def cold():
+        with cache.disabled():
+            return msbt_broadcast_schedule(
+                cube, 0, 61440, 1024, PortModel.ONE_PORT_FULL
+            )
+
+    sched = benchmark(cold)
+    assert sched.num_transfers > 0
+
+
+def test_perf_generate_msbt_schedule_cached(benchmark):
+    cube = Hypercube(7)
+    msbt_broadcast_schedule(cube, 0, 61440, 1024, PortModel.ONE_PORT_FULL)  # warm
     sched = benchmark(
         msbt_broadcast_schedule, cube, 0, 61440, 1024, PortModel.ONE_PORT_FULL
     )
@@ -30,9 +54,12 @@ def test_perf_generate_msbt_schedule(benchmark):
 
 def test_perf_generate_bst_scatter(benchmark):
     cube = Hypercube(6)
-    sched = benchmark(
-        bst_scatter_schedule, cube, 0, 1024, 1024, PortModel.ONE_PORT_FULL
-    )
+
+    def cold():
+        with cache.disabled():
+            return bst_scatter_schedule(cube, 0, 1024, 1024, PortModel.ONE_PORT_FULL)
+
+    sched = benchmark(cold)
     assert sched.num_transfers >= cube.num_nodes - 1
 
 
@@ -47,6 +74,20 @@ def test_perf_event_engine(benchmark, big_broadcast):
     cube, sched = big_broadcast
     init = {0: set(sched.chunk_sizes)}
     res = benchmark(run_async, cube, sched, PortModel.ONE_PORT_FULL, init, IPSC_D7)
+    assert res.time > 0
+
+
+def test_perf_event_engine_n10(benchmark, huge_broadcast):
+    # ~60k transfers; only feasible on the indexed engine (the rescan
+    # engine needs minutes here), so a single round keeps wall time low
+    cube, sched = huge_broadcast
+    init = {0: set(sched.chunk_sizes)}
+    res = benchmark.pedantic(
+        run_async,
+        args=(cube, sched, PortModel.ONE_PORT_FULL, init, IPSC_D7),
+        rounds=1,
+        iterations=1,
+    )
     assert res.time > 0
 
 

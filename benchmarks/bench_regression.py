@@ -1,0 +1,85 @@
+"""Benchmark-regression suite: canonical workloads pinned in BENCH_ENGINE.json.
+
+The workloads cover the two engines and the schedule-generation path
+(cold and cached).  ``scripts/bench_compare.py`` runs this file with
+``--benchmark-json``, extracts each benchmark's median, and compares it
+against the medians recorded in ``BENCH_ENGINE.json`` at the repo root;
+``--update`` refreshes the baseline.  Run the suite directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_regression.py
+
+The names of these tests are the keys of the baseline file — renaming
+one orphans its baseline entry.
+"""
+
+import pytest
+
+from repro import cache
+from repro.routing import msbt_broadcast_schedule
+from repro.sim import IPSC_D7, PortModel, run_async, run_synchronous
+from repro.topology import Hypercube
+
+
+def _msbt_workload(n: int):
+    cube = Hypercube(n)
+    sched = msbt_broadcast_schedule(cube, 0, 61440, 1024, PortModel.ONE_PORT_FULL)
+    return cube, sched
+
+
+@pytest.fixture(scope="module")
+def workload_n7():
+    return _msbt_workload(7)
+
+
+@pytest.fixture(scope="module")
+def workload_n10():
+    return _msbt_workload(10)
+
+
+def test_regress_event_engine_n7(benchmark, workload_n7):
+    cube, sched = workload_n7
+    init = {0: set(sched.chunk_sizes)}
+    res = benchmark(run_async, cube, sched, PortModel.ONE_PORT_FULL, init, IPSC_D7)
+    assert res.time > 0
+
+
+def test_regress_event_engine_n10(benchmark, workload_n10):
+    # ~60k transfers; a single round keeps total wall time reasonable
+    cube, sched = workload_n10
+    init = {0: set(sched.chunk_sizes)}
+    res = benchmark.pedantic(
+        run_async,
+        args=(cube, sched, PortModel.ONE_PORT_FULL, init, IPSC_D7),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.time > 0
+
+
+def test_regress_lockstep_engine_n7(benchmark, workload_n7):
+    cube, sched = workload_n7
+    init = {0: set(sched.chunk_sizes)}
+    res = benchmark(run_synchronous, cube, sched, PortModel.ONE_PORT_FULL, init)
+    assert res.cycles > 0
+
+
+def test_regress_generate_msbt_cold(benchmark):
+    cube = Hypercube(7)
+
+    def cold():
+        with cache.disabled():
+            return msbt_broadcast_schedule(
+                cube, 0, 61440, 1024, PortModel.ONE_PORT_FULL
+            )
+
+    sched = benchmark(cold)
+    assert sched.num_transfers > 0
+
+
+def test_regress_generate_msbt_cached(benchmark):
+    cube = Hypercube(7)
+    msbt_broadcast_schedule(cube, 0, 61440, 1024, PortModel.ONE_PORT_FULL)  # warm
+    sched = benchmark(
+        msbt_broadcast_schedule, cube, 0, 61440, 1024, PortModel.ONE_PORT_FULL
+    )
+    assert sched.num_transfers > 0

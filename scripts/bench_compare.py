@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Run the benchmark-regression suite and compare against the baseline.
+
+Runs ``benchmarks/bench_regression.py`` under pytest-benchmark, pulls
+each benchmark's median, and compares it with ``BENCH_ENGINE.json`` at
+the repo root:
+
+* ``python scripts/bench_compare.py`` — fail (exit 1) when any median
+  exceeds its baseline by more than ``--threshold`` (default 50%) *and*
+  by more than ``--min-delta`` seconds (absolute floor shielding
+  microsecond-scale benchmarks from scheduler noise).
+* ``python scripts/bench_compare.py --update`` — rewrite the baseline
+  with the freshly measured medians.
+
+New benchmarks (no baseline entry) and orphaned baseline entries are
+reported but never fail the comparison; refresh with ``--update``.
+Timings are machine-dependent: refresh the baseline when switching
+hardware rather than chasing phantom regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_ENGINE.json"
+BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_regression.py"
+
+
+def run_benchmarks(pytest_args: list[str]) -> dict[str, float]:
+    """Run the regression suite; return {test name: median seconds}."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(BENCH_FILE),
+            f"--benchmark-json={json_path}",
+            "-q",
+            *pytest_args,
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            sys.exit(f"benchmark run failed (pytest exit {proc.returncode})")
+        data = json.loads(json_path.read_text())
+    return {b["name"]: b["stats"]["median"] for b in data["benchmarks"]}
+
+
+def load_baseline() -> dict:
+    if not BASELINE_PATH.exists():
+        return {}
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def save_baseline(medians: dict[str, float]) -> None:
+    payload = {
+        "_meta": {
+            "updated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "python": sys.version.split()[0],
+            "platform": sys.platform,
+            "suite": str(BENCH_FILE.relative_to(REPO_ROOT)),
+            "stat": "median seconds per round",
+        },
+        "benchmarks": {
+            name: {"median": medians[name]} for name in sorted(medians)
+        },
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written: {BASELINE_PATH}")
+
+
+def compare(
+    medians: dict[str, float],
+    baseline: dict,
+    threshold: float,
+    min_delta: float,
+) -> int:
+    recorded = baseline.get("benchmarks", {})
+    regressions = []
+    width = max((len(n) for n in medians), default=0)
+    for name in sorted(medians):
+        median = medians[name]
+        entry = recorded.get(name)
+        if entry is None:
+            print(f"{name:<{width}}  {median:>10.4f}s  (new - no baseline)")
+            continue
+        base = entry["median"]
+        ratio = median / base if base > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + threshold and median - base > min_delta:
+            marker = "  REGRESSION"
+            regressions.append((name, base, median, ratio))
+        print(
+            f"{name:<{width}}  {median:>10.4f}s  baseline {base:.4f}s  "
+            f"x{ratio:.2f}{marker}"
+        )
+    for name in sorted(set(recorded) - set(medians)):
+        print(f"{name:<{width}}  (baseline entry has no benchmark - stale?)")
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond {threshold:.0%} "
+            "(rerun, or refresh with --update if intentional):"
+        )
+        for name, base, median, ratio in regressions:
+            print(f"  {name}: {base:.4f}s -> {median:.4f}s (x{ratio:.2f})")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite BENCH_ENGINE.json with the measured medians",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="allowed fractional slowdown before failing (default 0.5)",
+    )
+    parser.add_argument(
+        "--min-delta",
+        type=float,
+        default=0.005,
+        help="absolute slowdown in seconds a regression must also exceed "
+        "(default 0.005)",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest (after --)",
+    )
+    args = parser.parse_args()
+
+    medians = run_benchmarks(args.pytest_args)
+    if not medians:
+        sys.exit("no benchmark results collected")
+    if args.update:
+        save_baseline(medians)
+        return 0
+    baseline = load_baseline()
+    if not baseline:
+        sys.exit(
+            f"no baseline at {BASELINE_PATH}; create one with --update"
+        )
+    return compare(medians, baseline, args.threshold, args.min_delta)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

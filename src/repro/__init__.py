@@ -46,6 +46,7 @@ __all__ = [
 def _extend_api() -> None:
     """Populate the top-level API from the higher layers."""
     from repro.analysis import models  # noqa: F401
+    from repro.cache import cache_stats, caching_enabled, clear_caches, configure
     from repro.collectives.api import (
         allgather,
         allreduce,
@@ -69,6 +70,10 @@ def _extend_api() -> None:
         MachineParams=MachineParams,
         IPSC_D7=IPSC_D7,
         PortModel=PortModel,
+        cache_stats=cache_stats,
+        caching_enabled=caching_enabled,
+        clear_caches=clear_caches,
+        configure=configure,
     )
     __all__.extend(
         [
@@ -82,6 +87,10 @@ def _extend_api() -> None:
             "MachineParams",
             "IPSC_D7",
             "PortModel",
+            "cache_stats",
+            "caching_enabled",
+            "clear_caches",
+            "configure",
         ]
     )
 

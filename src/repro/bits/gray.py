@@ -10,6 +10,7 @@ a Hamiltonian path, which is the paper's HP broadcast baseline.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from functools import lru_cache
 
 from repro.bits.ops import lowest_set_bit, mask
 
@@ -50,15 +51,21 @@ def gray_rank(g: int) -> int:
     return gray_decode(g)
 
 
+@lru_cache(maxsize=32)
+def _gray_sequence_tuple(n: int) -> tuple[int, ...]:
+    return tuple(gray_code(i) for i in range(1 << n))
+
+
 def gray_sequence(n: int) -> list[int]:
     """All ``2**n`` Gray codewords in rank order.
 
     Consecutive entries differ in exactly one bit, and so do the first
-    and last entries (the code is cyclic).
+    and last entries (the code is cyclic).  The sequence is memoized per
+    width internally; callers get a fresh list.
     """
     if n < 0:
         raise ValueError(f"code width must be non-negative, got {n}")
-    return [gray_code(i) for i in range(1 << n)]
+    return list(_gray_sequence_tuple(n))
 
 
 def transition_sequence(n: int) -> list[int]:

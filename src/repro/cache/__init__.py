@@ -1,0 +1,35 @@
+"""Caching layer: keyed LRUs for spanning trees and routing schedules.
+
+Parameter sweeps (the Figure 5–8 reproductions) evaluate the same
+trees and schedules at many ``(M, B, port model)`` points; this package
+makes repeats cheap while keeping results bit-identical to the uncached
+paths (asserted by ``tests/cache``).
+
+Environment:
+    ``REPRO_CACHE=0`` (or ``off``/``false``/``no``) disables the layer.
+"""
+
+from repro.cache.lru import (
+    LRUCache,
+    MISSING,
+    cache_stats,
+    caching_enabled,
+    clear_caches,
+    configure,
+    disabled,
+)
+from repro.cache.schedules import memoize_schedule
+from repro.cache.trees import cached_msbt_graph, cached_tree
+
+__all__ = [
+    "LRUCache",
+    "MISSING",
+    "cache_stats",
+    "caching_enabled",
+    "cached_msbt_graph",
+    "cached_tree",
+    "clear_caches",
+    "configure",
+    "disabled",
+    "memoize_schedule",
+]

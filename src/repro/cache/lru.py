@@ -1,0 +1,147 @@
+"""Keyed LRU caches with a process-wide registry and an on/off switch.
+
+Every cache created through :class:`LRUCache` registers itself under a
+name so callers can inspect hit rates (:func:`cache_stats`) or reset
+state (:func:`clear_caches`) — important for benchmarks that want to
+measure cold-path cost.  Caching can be disabled globally, either via
+the ``REPRO_CACHE`` environment variable (``0``/``off``/``false``) or
+temporarily with the :func:`disabled` context manager.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Hashable, Iterator
+
+__all__ = [
+    "LRUCache",
+    "MISSING",
+    "cache_stats",
+    "caching_enabled",
+    "clear_caches",
+    "configure",
+    "disabled",
+]
+
+#: sentinel distinguishing "not cached" from a cached ``None``
+MISSING = object()
+
+_REGISTRY: "OrderedDict[str, LRUCache]" = OrderedDict()
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("REPRO_CACHE", "1").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+_ENABLED = _env_enabled()
+
+
+class LRUCache:
+    """A named, bounded mapping with least-recently-used eviction.
+
+    Args:
+        name: registry name (must be unique per process; re-creating a
+            cache under an existing name replaces the registry entry).
+        maxsize: entries kept before the least recently used is evicted.
+            ``None`` means unbounded.
+    """
+
+    def __init__(self, name: str, maxsize: int | None = 128):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        _REGISTRY[name] = self
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Any:
+        """The cached value for ``key``, or :data:`MISSING`."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return MISSING
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``key -> value``, evicting the LRU entry when full."""
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if self.maxsize is not None and len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> dict[str, int | None]:
+        """Counters snapshot: size, maxsize, hits, misses, evictions."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache({self.name!r}, size={len(self)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def caching_enabled() -> bool:
+    """True when the cache layer is active."""
+    return _ENABLED
+
+
+def configure(enabled: bool) -> None:
+    """Turn the cache layer on or off process-wide."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Context manager that bypasses all caches inside the block.
+
+    Used by the cold-path benchmarks and the cached-vs-uncached
+    equivalence tests; existing entries are kept, only lookups and
+    stores are bypassed.
+    """
+    global _ENABLED
+    prev = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = prev
+
+
+def cache_stats() -> dict[str, dict[str, int | None]]:
+    """Stats of every registered cache, keyed by cache name."""
+    return {name: cache.stats() for name, cache in _REGISTRY.items()}
+
+
+def clear_caches() -> None:
+    """Clear every registered cache (entries and counters)."""
+    for cache in _REGISTRY.values():
+        cache.clear()

@@ -1,0 +1,122 @@
+"""Spanning-tree instance cache exploiting XOR translation symmetry.
+
+All tree families in :mod:`repro.trees` are *translation equivariant*:
+the tree rooted at ``s`` is the source-0 tree with every address XORed
+by ``s`` (``parent_s(i) = parent_0(i ^ s) ^ s``, §2 of the paper).  The
+cache therefore builds one canonical instance per ``(class, n[, j])``
+at root 0 and derives any other root by translating the canonical
+parents/children/levels/subtree-size maps — O(N) dict work instead of
+re-running the family's construction logic per node.
+
+Translated maps are injected into the instance ``__dict__``, which is
+exactly where :class:`functools.cached_property` stores its result, so
+every derived accessor on :class:`repro.trees.base.SpanningTree` picks
+them up transparently.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+from repro.cache.lru import MISSING, LRUCache, caching_enabled
+from repro.topology.hypercube import Hypercube
+from repro.trees.base import SpanningTree
+from repro.trees.msbt import EdgeReversedSBT, MSBTGraph
+
+__all__ = ["cached_tree", "cached_msbt_graph"]
+
+T = TypeVar("T", bound=SpanningTree)
+
+#: canonical root-0 instances, keyed (qualname, n, extra)
+_canonical = LRUCache("trees.canonical", maxsize=64)
+#: translated instances, keyed (qualname, n, root, extra)
+_instances = LRUCache("trees.instances", maxsize=256)
+#: MSBT graphs, keyed (n, source)
+_msbt_graphs = LRUCache("trees.msbt_graphs", maxsize=64)
+
+#: the cached_property names translated onto non-canonical instances
+_TRANSLATED = ("parents_map", "children_map", "levels", "subtree_sizes")
+
+
+def _build(cls: type[T], cube: Hypercube, root: int, extra: tuple) -> T:
+    if cls is EdgeReversedSBT:
+        return cls(cube, *extra, root)  # type: ignore[return-value]
+    return cls(cube, root, *extra)
+
+
+def _translate(canonical: SpanningTree, instance: SpanningTree, s: int) -> None:
+    """Inject the canonical maps XOR-translated by ``s`` into ``instance``."""
+    c_parents = canonical.parents_map
+    c_children = canonical.children_map
+    c_levels = canonical.levels
+    c_sizes = canonical.subtree_sizes
+    instance.__dict__["parents_map"] = {
+        i ^ s: (None if p is None else p ^ s) for i, p in c_parents.items()
+    }
+    instance.__dict__["children_map"] = {
+        i ^ s: tuple(sorted(c ^ s for c in kids))
+        for i, kids in c_children.items()
+    }
+    instance.__dict__["levels"] = {i ^ s: lvl for i, lvl in c_levels.items()}
+    instance.__dict__["subtree_sizes"] = {
+        i ^ s: sz for i, sz in c_sizes.items()
+    }
+
+
+def cached_tree(cls: type[T], cube: Hypercube, root: int = 0, *extra) -> T:
+    """A possibly-cached instance of tree family ``cls`` rooted at ``root``.
+
+    Args:
+        cls: a :class:`~repro.trees.base.SpanningTree` subclass whose
+            construction is deterministic in ``(cube, root, *extra)``.
+        cube: host hypercube.
+        root: tree root (the collective's source node).
+        extra: extra constructor arguments identifying the member of
+            the family — e.g. the ERSBT tree index ``j``.
+
+    With caching disabled this simply constructs the tree directly.
+    """
+    if not caching_enabled():
+        return _build(cls, cube, root, extra)
+    n = cube.dimension
+    key = (cls.__qualname__, n, root, extra)
+    inst = _instances.get(key)
+    if inst is not MISSING:
+        return inst
+    ckey = (cls.__qualname__, n, extra)
+    canonical = _canonical.get(ckey)
+    if canonical is MISSING:
+        canonical = _build(cls, cube, 0, extra)
+        # materialize the maps the translation reads
+        for name in _TRANSLATED:
+            getattr(canonical, name)
+        _canonical.put(ckey, canonical)
+    if root == 0:
+        inst = canonical
+    else:
+        inst = _build(cls, cube, root, extra)
+        _translate(canonical, inst, root)
+    _instances.put(key, inst)
+    return inst
+
+
+def cached_msbt_graph(cube: Hypercube, source: int = 0) -> MSBTGraph:
+    """A possibly-cached :class:`MSBTGraph`, its ERSBTs shared via the cache.
+
+    The graph object itself is cheap; the win is that its ``n`` member
+    trees come from :func:`cached_tree`, so their structural maps are
+    translations of the canonical source-0 ERSBTs.
+    """
+    if not caching_enabled():
+        return MSBTGraph(cube, source)
+    key = (cube.dimension, source)
+    graph = _msbt_graphs.get(key)
+    if graph is not MISSING:
+        return graph
+    graph = MSBTGraph(cube, source)
+    graph._trees = tuple(
+        cached_tree(EdgeReversedSBT, cube, source, j)
+        for j in range(cube.dimension)
+    )
+    _msbt_graphs.put(key, graph)
+    return graph

@@ -18,6 +18,7 @@ reduce      ``"sbt"``; ``allreduce`` composes reduce + broadcast
 
 from __future__ import annotations
 
+from repro.cache import cached_tree
 from repro.collectives.result import CollectiveResult
 from repro.routing import (
     allgather_initial_holdings,
@@ -112,13 +113,13 @@ def broadcast(
             cube, source, message_elems, packet_elems, port_model
         )
     elif algorithm == "tcbt":
-        tree = TwoRootedCompleteBinaryTree(cube, source)
+        tree = cached_tree(TwoRootedCompleteBinaryTree, cube, source)
         sched = tree_broadcast_schedule(tree, message_elems, packet_elems, port_model)
     elif algorithm == "hp":
-        tree = HamiltonianPathTree(cube, source)
+        tree = cached_tree(HamiltonianPathTree, cube, source)
         sched = tree_broadcast_schedule(tree, message_elems, packet_elems, port_model)
     elif algorithm == "hp-centered":
-        tree = CenteredHamiltonianPathTree(cube, source)
+        tree = cached_tree(CenteredHamiltonianPathTree, cube, source)
         sched = tree_broadcast_schedule(tree, message_elems, packet_elems, port_model)
     elif algorithm == "hp-dual":
         sched = dual_hp_broadcast_schedule(
@@ -186,7 +187,7 @@ def _scatter_schedule(
             cube, source, message_elems, packet_elems, port_model, subtree_order
         )
     if algorithm == "tcbt":
-        tree = TwoRootedCompleteBinaryTree(cube, source)
+        tree = cached_tree(TwoRootedCompleteBinaryTree, cube, source)
         return tree_scatter_schedule(tree, message_elems, packet_elems, port_model)
     raise ValueError(
         f"unknown scatter algorithm {algorithm!r}; pick one of {SCATTER_ALGORITHMS}"

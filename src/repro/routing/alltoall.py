@@ -24,6 +24,7 @@ serialize each step into two.
 from __future__ import annotations
 
 from repro.bits.ops import bit
+from repro.cache import cached_tree, memoize_schedule
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer
 from repro.topology.hypercube import Hypercube
@@ -42,6 +43,7 @@ GATHER_TAG = "g"
 EXCHANGE_TAG = "x"
 
 
+@memoize_schedule()
 def allgather_schedule(
     cube: Hypercube,
     message_elems: int,
@@ -85,6 +87,7 @@ def allgather_initial_holdings(cube: Hypercube) -> dict[int, set[Chunk]]:
     return {v: {(GATHER_TAG, v)} for v in cube.nodes()}
 
 
+@memoize_schedule()
 def alltoall_personalized_schedule(
     cube: Hypercube,
     message_elems: int,
@@ -145,6 +148,7 @@ def alltoall_initial_holdings(cube: Hypercube) -> dict[int, set[Chunk]]:
     }
 
 
+@memoize_schedule()
 def alltoall_bst_schedule(
     cube: Hypercube,
     message_elems: int,
@@ -177,7 +181,7 @@ def alltoall_bst_schedule(
     from repro.trees.bst import BalancedSpanningTree
 
     n = cube.dimension
-    base_tree = BalancedSpanningTree(cube, 0)
+    base_tree = cached_tree(BalancedSpanningTree, cube, 0)
     height = base_tree.height
     sizes: dict[Chunk, int] = {}
     bundles: dict[tuple[int, int, int], set[Chunk]] = {}

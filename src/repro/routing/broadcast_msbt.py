@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from math import ceil
 
+from repro.cache import cached_msbt_graph, memoize_schedule
 from repro.routing.common import BCAST, broadcast_chunks
 from repro.routing.scheduler import reschedule
 from repro.sim.ports import PortModel
@@ -30,6 +31,7 @@ from repro.trees.msbt import MSBTGraph
 __all__ = ["msbt_broadcast_schedule"]
 
 
+@memoize_schedule()
 def msbt_broadcast_schedule(
     cube: Hypercube,
     source: int,
@@ -48,7 +50,7 @@ def msbt_broadcast_schedule(
     sizes = broadcast_chunks(message_elems, packet_elems)
     n_packets = len(sizes)
     n = cube.dimension
-    graph = MSBTGraph(cube, source)
+    graph = cached_msbt_graph(cube, source)
 
     if port_model is PortModel.ALL_PORT:
         return _all_port(graph, sizes, n_packets)

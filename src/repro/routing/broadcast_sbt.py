@@ -17,6 +17,7 @@ Two schedules:
 
 from __future__ import annotations
 
+from repro.cache import cached_tree, memoize_schedule
 from repro.routing.common import BCAST, broadcast_chunks
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Schedule, Transfer
@@ -32,6 +33,7 @@ __all__ = ["sbt_broadcast_schedule"]
 SBT_ORDERS = ("port", "packet")
 
 
+@memoize_schedule()
 def sbt_broadcast_schedule(
     cube: Hypercube,
     source: int,
@@ -106,7 +108,7 @@ def _pipelined(
     sizes: dict,
     n_packets: int,
 ) -> Schedule:
-    tree = SpanningBinomialTree(cube, source)
+    tree = cached_tree(SpanningBinomialTree, cube, source)
     n = cube.dimension
     total_rounds = n_packets + n - 1
     rounds: list[list[Transfer]] = [[] for _ in range(total_rounds)]

@@ -18,6 +18,7 @@ broadcast: running a distribution schedule backwards collects instead.
 
 from __future__ import annotations
 
+from repro.cache import cached_tree, memoize_schedule
 from repro.routing.common import broadcast_chunks, validate_message_args
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer
@@ -55,6 +56,7 @@ def gather_from_scatter(scatter_schedule: Schedule) -> Schedule:
     return g
 
 
+@memoize_schedule()
 def sbt_reduce_schedule(
     cube: Hypercube,
     root: int,
@@ -77,7 +79,7 @@ def sbt_reduce_schedule(
     packet_sizes = broadcast_chunks(message_elems, packet_elems)
     n_packets = len(packet_sizes)
     n = cube.dimension
-    tree = SpanningBinomialTree(cube, root)
+    tree = cached_tree(SpanningBinomialTree, cube, root)
 
     sizes: dict[Chunk, int] = {}
     for node in cube.nodes():
@@ -137,6 +139,7 @@ def sbt_reduce_schedule(
     )
 
 
+@memoize_schedule()
 def tree_reduce_schedule(
     tree,
     message_elems: int,
@@ -233,5 +236,5 @@ def reduce_combine_rule(
     simulation tracks only chunk movement; this map lets tests verify
     the combining dataflow is complete.
     """
-    tree = SpanningBinomialTree(cube, root)
+    tree = cached_tree(SpanningBinomialTree, cube, root)
     return {node: list(tree.children(node)) for node in cube.nodes()}

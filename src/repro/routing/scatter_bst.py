@@ -17,6 +17,7 @@
 
 from __future__ import annotations
 
+from repro.cache import cached_tree, memoize_schedule
 from repro.routing.common import scatter_chunks
 from repro.routing.scatter_common import (
     dest_pieces,
@@ -35,6 +36,7 @@ __all__ = ["bst_scatter_schedule", "SUBTREE_ORDERS"]
 SUBTREE_ORDERS = ("depth_first", "reversed_breadth_first")
 
 
+@memoize_schedule()
 def bst_scatter_schedule(
     cube: Hypercube,
     source: int,
@@ -60,7 +62,7 @@ def bst_scatter_schedule(
         raise ValueError(
             f"unknown subtree order {subtree_order!r}; pick one of {SUBTREE_ORDERS}"
         )
-    tree = BalancedSpanningTree(cube, source)
+    tree = cached_tree(BalancedSpanningTree, cube, source)
     if port_model is PortModel.ALL_PORT:
         return wave_scatter_schedule(
             tree, message_elems, packet_elems, algorithm="bst-scatter"

@@ -18,6 +18,7 @@ piece leaves the root and *how* pieces are bundled into packets:
 
 from __future__ import annotations
 
+from repro.cache import memoize_schedule
 from repro.routing.common import MSG, scatter_chunks
 from repro.routing.scheduler import split_oversized
 from repro.sim.ports import PortModel
@@ -55,6 +56,7 @@ def tree_path_from_root(tree: SpanningTree, dest: int) -> list[int]:
     return path
 
 
+@memoize_schedule()
 def wave_scatter_schedule(
     tree: SpanningTree,
     message_elems: int,

@@ -16,6 +16,7 @@
 
 from __future__ import annotations
 
+from repro.cache import cached_tree, memoize_schedule
 from repro.routing.common import scatter_chunks
 from repro.routing.scatter_common import dest_pieces, wave_scatter_schedule
 from repro.routing.scheduler import greedy_partition
@@ -27,6 +28,7 @@ from repro.trees.sbt import SpanningBinomialTree
 __all__ = ["sbt_scatter_schedule"]
 
 
+@memoize_schedule()
 def sbt_scatter_schedule(
     cube: Hypercube,
     source: int,
@@ -45,7 +47,7 @@ def sbt_scatter_schedule(
     """
     cube.check_node(source)
     if port_model is PortModel.ALL_PORT:
-        tree = SpanningBinomialTree(cube, source)
+        tree = cached_tree(SpanningBinomialTree, cube, source)
         return wave_scatter_schedule(
             tree, message_elems, packet_elems, algorithm="sbt-scatter"
         )

@@ -22,6 +22,11 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+try:  # the vectorized constraint fast path is optional
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a standard dependency
+    _np = None
+
 from repro.sim.machine import MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer
@@ -59,6 +64,45 @@ class SyncResult:
         return chunk in self.holdings.get(node, set())
 
 
+#: below this many transfers per round the scalar checker is faster
+#: than building the arrays
+_VECTOR_THRESHOLD = 8
+
+
+def _round_ok_vectorized(
+    cube: Hypercube,
+    round_transfers: tuple[Transfer, ...],
+    port_model: PortModel,
+) -> bool:
+    """Whole-round constraint check over NumPy arrays.
+
+    Returns True when the round provably satisfies every port-model
+    constraint; False means *some* check failed (the caller re-runs the
+    scalar path to raise the precise diagnostic).
+    """
+    k = len(round_transfers)
+    src = _np.fromiter((t.src for t in round_transfers), dtype=_np.int64, count=k)
+    dst = _np.fromiter((t.dst for t in round_transfers), dtype=_np.int64, count=k)
+    num = cube.num_nodes
+    if ((src < 0) | (src >= num) | (dst < 0) | (dst >= num)).any():
+        return False
+    diff = src ^ dst
+    if ((diff == 0) | (diff & (diff - 1) != 0)).any():  # not a cube edge
+        return False
+    keys = src * num + dst
+    if _np.unique(keys).size != k:  # directed edge used twice
+        return False
+    if port_model is PortModel.ALL_PORT:
+        return True
+    send_counts = _np.bincount(src, minlength=num)
+    recv_counts = _np.bincount(dst, minlength=num)
+    if (send_counts > 1).any() or (recv_counts > 1).any():
+        return False
+    if port_model.half_duplex and ((send_counts > 0) & (recv_counts > 0)).any():
+        return False
+    return True
+
+
 def check_round_constraints(
     cube: Hypercube,
     round_transfers: tuple[Transfer, ...],
@@ -66,6 +110,12 @@ def check_round_constraints(
     round_index: int,
 ) -> None:
     """Validate one round against the port model; raise on violation."""
+    if (
+        _np is not None
+        and len(round_transfers) >= _VECTOR_THRESHOLD
+        and _round_ok_vectorized(cube, round_transfers, port_model)
+    ):
+        return
     sends: Counter[int] = Counter()
     recvs: Counter[int] = Counter()
     edges_used: set[tuple[int, int]] = set()

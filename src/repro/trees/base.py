@@ -58,6 +58,16 @@ class SpanningTree(ABC):
         """Relative address ``node XOR root`` (the paper's ``c``)."""
         return node ^ self._root
 
+    def cache_token(self) -> tuple:
+        """Hashable identity used by the schedule cache (see repro.cache).
+
+        Two trees with equal tokens must be structurally identical;
+        construction of every family here is deterministic in
+        ``(class, n, root)``, so that triple suffices.  Subclasses with
+        extra identity (e.g. the ERSBT tree index) must extend this.
+        """
+        return (type(self).__qualname__, self.n, self._root)
+
     # -- derived structure ----------------------------------------------------
 
     def children(self, node: int) -> tuple[int, ...]:

@@ -23,6 +23,8 @@ edges necessarily cross the same dimension.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.bits.ops import flip_bit
 from repro.topology.hypercube import Hypercube
 from repro.trees.base import SpanningTree
@@ -80,19 +82,29 @@ def _build(
     return u1, v1, parents
 
 
+@lru_cache(maxsize=None)
+def _drcbt_cached(n: int) -> tuple[int, int, tuple[tuple[int, int], ...]]:
+    if n == 1:
+        r1, r2, parents = _build((0,), 0, 0, 0)
+    elif n == 2:
+        r1, r2, parents = _build((0, 1), 1, 0, 0)
+    else:
+        r1, r2, parents = _build(tuple(range(n)), n - 1, 0, 1)
+    return r1, r2, tuple(parents.items())
+
+
 def build_drcbt(n: int) -> tuple[int, int, dict[int, int]]:
     """Build a spanning DRCBT of the ``n``-cube at a canonical position.
 
     Returns ``(R1, R2, parents)``: the adjacent root pair with
     ``R1 == 0`` and the parent of every node other than the roots.
+    The recursion runs once per dimension; repeat calls return a fresh
+    dict rebuilt from a memoized immutable form.
     """
     if n < 1:
         raise ValueError(f"cube dimension must be >= 1, got {n}")
-    if n == 1:
-        return _build((0,), 0, 0, 0)
-    if n == 2:
-        return _build((0, 1), 1, 0, 0)
-    return _build(tuple(range(n)), n - 1, 0, 1)
+    r1, r2, items = _drcbt_cached(n)
+    return r1, r2, dict(items)
 
 
 class TwoRootedCompleteBinaryTree(SpanningTree):

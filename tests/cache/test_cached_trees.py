@@ -1,0 +1,108 @@
+"""Cached (translated) trees are structurally identical to direct builds.
+
+The cache builds each family once at root 0 and XOR-translates the
+structural maps for any other root; these tests assert that for
+randomized ``(n, root)`` samples the translated instance is
+indistinguishable from one constructed directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache import cached_msbt_graph, cached_tree, clear_caches, disabled
+from repro.topology.hypercube import Hypercube
+from repro.trees.bst import BalancedSpanningTree
+from repro.trees.hamiltonian import HamiltonianPathTree
+from repro.trees.hp_variants import CenteredHamiltonianPathTree
+from repro.trees.msbt import EdgeReversedSBT, MSBTGraph
+from repro.trees.sbt import SpanningBinomialTree
+from repro.trees.tcbt import TwoRootedCompleteBinaryTree
+
+FAMILIES = [
+    SpanningBinomialTree,
+    BalancedSpanningTree,
+    TwoRootedCompleteBinaryTree,
+    HamiltonianPathTree,
+    CenteredHamiltonianPathTree,
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def assert_same_structure(a, b):
+    assert a.parents_map == b.parents_map
+    assert a.children_map == b.children_map
+    assert a.levels == b.levels
+    assert a.subtree_sizes == b.subtree_sizes
+    assert a.root == b.root
+
+
+@pytest.mark.parametrize("cls", FAMILIES, ids=lambda c: c.__name__)
+def test_cached_tree_matches_direct_build_randomized(cls):
+    rng = random.Random(20260805)
+    for n in (2, 3, 4, 5):
+        cube = Hypercube(n)
+        roots = {0, cube.num_nodes - 1}
+        roots.update(rng.randrange(cube.num_nodes) for _ in range(4))
+        for root in sorted(roots):
+            cached = cached_tree(cls, cube, root)
+            direct = cls(cube, root)
+            assert_same_structure(cached, direct)
+            cached.validate()
+
+
+@pytest.mark.parametrize("cls", FAMILIES, ids=lambda c: c.__name__)
+def test_cached_tree_is_type_faithful_and_memoized(cls):
+    cube = Hypercube(4)
+    t1 = cached_tree(cls, cube, 9)
+    t2 = cached_tree(cls, cube, 9)
+    assert type(t1) is cls
+    assert t1 is t2  # repeat lookups share the instance
+
+
+def test_cached_tree_bypasses_when_disabled():
+    cube = Hypercube(3)
+    with disabled():
+        t1 = cached_tree(SpanningBinomialTree, cube, 5)
+        t2 = cached_tree(SpanningBinomialTree, cube, 5)
+    assert t1 is not t2
+    assert_same_structure(t1, t2)
+
+
+def test_cached_ersbt_keeps_tree_index_identity():
+    cube = Hypercube(4)
+    for j in range(cube.dimension):
+        for root in (0, 6, 15):
+            cached = cached_tree(EdgeReversedSBT, cube, root, j)
+            direct = EdgeReversedSBT(cube, j, root)
+            assert cached.tree_index == j
+            assert_same_structure(cached, direct)
+            # the ERSBT overrides children() with a closed form; it must
+            # agree with the injected translated maps
+            for node in cube.nodes():
+                assert tuple(sorted(cached.children(node))) == tuple(
+                    sorted(cached.children_map[node])
+                )
+
+
+def test_cached_msbt_graph_matches_direct_build():
+    rng = random.Random(7)
+    for n in (2, 3, 4):
+        cube = Hypercube(n)
+        for source in {0, rng.randrange(cube.num_nodes)}:
+            cached = cached_msbt_graph(cube, source)
+            direct = MSBTGraph(cube, source)
+            assert cached.source == direct.source
+            for j in range(n):
+                assert_same_structure(cached.trees[j], direct.trees[j])
+            cached.validate()
+            cached.validate_labelling()
+            assert cached is cached_msbt_graph(cube, source)

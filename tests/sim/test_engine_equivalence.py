@@ -1,0 +1,151 @@
+"""The indexed event engine is bit-identical to the reference engine.
+
+``repro.sim.engine.run_async`` replaced the original quadratic
+rescan-everything engine with a dependency-indexed design; the original
+is preserved verbatim as ``repro.sim._engine_reference.run_async_reference``
+and serves as the oracle here.  Equivalence is *exact*: simulated
+completion time, holdings, link statistics and start times must match
+to the last ulp (the indexed engine reproduces the reference's
+eps-coalesced wake ordering, not merely its semantics).
+
+Also pins the :class:`AsyncResult.start_times` ordering contract and
+the deadlock diagnosis of the indexed path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing import (
+    allgather_schedule,
+    bst_scatter_schedule,
+    dual_hp_broadcast_schedule,
+    msbt_broadcast_schedule,
+    sbt_broadcast_schedule,
+    sbt_scatter_schedule,
+    tree_broadcast_schedule,
+)
+from repro.sim._engine_reference import run_async_reference
+from repro.sim.engine import run_async
+from repro.sim.machine import IPSC_D7, UNIT_COST, MachineParams
+from repro.sim.ports import PortModel
+from repro.sim.schedule import Schedule, Transfer
+from repro.topology.hypercube import Hypercube
+from repro.trees.hamiltonian import HamiltonianPathTree
+from repro.trees.tcbt import TwoRootedCompleteBinaryTree
+
+MACHINES = [
+    IPSC_D7,
+    UNIT_COST,
+    MachineParams(tau=0.5, t_c=2.0, overlap=0.3, name="overlap-heavy"),
+]
+
+CUBE = Hypercube(4)
+
+
+def _schedules(source: int, port_model: PortModel):
+    """(name, schedule, initial holdings) for every algorithm family."""
+    out = []
+    for name, sched in [
+        ("sbt-broadcast", sbt_broadcast_schedule(CUBE, source, 37, 8, port_model)),
+        ("msbt-broadcast", msbt_broadcast_schedule(CUBE, source, 37, 8, port_model)),
+        (
+            "tcbt-broadcast",
+            tree_broadcast_schedule(
+                TwoRootedCompleteBinaryTree(CUBE, source), 37, 8, port_model
+            ),
+        ),
+        (
+            "hp-broadcast",
+            tree_broadcast_schedule(
+                HamiltonianPathTree(CUBE, source), 37, 8, port_model
+            ),
+        ),
+        (
+            "dual-hp-broadcast",
+            dual_hp_broadcast_schedule(CUBE, source, 37, 8, port_model),
+        ),
+        ("bst-scatter", bst_scatter_schedule(CUBE, source, 37, 8, port_model)),
+        ("sbt-scatter", sbt_scatter_schedule(CUBE, source, 37, 8, port_model)),
+    ]:
+        out.append((name, sched, {source: set(sched.chunk_sizes)}))
+    ag = allgather_schedule(CUBE, 11, port_model)
+    out.append(
+        (
+            "allgather",
+            ag,
+            {v: {c for c in ag.chunk_sizes if c[1] == v} for v in CUBE.nodes()},
+        )
+    )
+    return out
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+@pytest.mark.parametrize("port_model", list(PortModel), ids=lambda p: p.value)
+@pytest.mark.parametrize("source", [0, 5])
+def test_indexed_engine_matches_reference(source, port_model, machine):
+    for name, sched, init in _schedules(source, port_model):
+        new = run_async(
+            CUBE, sched, port_model, {k: set(v) for k, v in init.items()}, machine
+        )
+        ref = run_async_reference(
+            CUBE, sched, port_model, {k: set(v) for k, v in init.items()}, machine
+        )
+        assert new.time == ref.time, name
+        assert new.holdings == ref.holdings, name
+        assert new.link_stats == ref.link_stats, name
+        assert new.transfers_executed == ref.transfers_executed, name
+        # the reference appends in execution order; the new engine's
+        # contract is sorted ascending, so compare against the sort
+        assert new.start_times == sorted(ref.start_times), name
+
+
+def test_start_times_sorted_ascending():
+    """Pin the documented AsyncResult.start_times contract."""
+    sched = msbt_broadcast_schedule(CUBE, 3, 64, 4, PortModel.ONE_PORT_FULL)
+    res = run_async(
+        CUBE, sched, PortModel.ONE_PORT_FULL, {3: set(sched.chunk_sizes)}, IPSC_D7
+    )
+    assert res.start_times == sorted(res.start_times)
+    assert len(res.start_times) == res.transfers_executed == sched.num_transfers
+
+
+def test_causally_broken_schedule_deadlocks_with_diagnosis():
+    """A schedule whose payload never becomes available must raise,
+    not spin: node 2 sends a chunk only node 1 ever holds, and nothing
+    delivers it to node 2."""
+    sched = Schedule(
+        rounds=[
+            (Transfer(2, 3, frozenset({("b", 0)})),),
+        ],
+        chunk_sizes={("b", 0): 4},
+        algorithm="broken",
+        meta={},
+    )
+    with pytest.raises(RuntimeError, match="deadlock"):
+        run_async(CUBE, sched, PortModel.ONE_PORT_FULL, {1: {("b", 0)}}, UNIT_COST)
+
+
+def test_circular_dependency_deadlocks():
+    """Two transfers each waiting on the other's delivery."""
+    sched = Schedule(
+        rounds=[
+            (
+                Transfer(0, 1, frozenset({("b", 0)})),
+                Transfer(1, 0, frozenset({("b", 1)})),
+            ),
+        ],
+        chunk_sizes={("b", 0): 4, ("b", 1): 4},
+        algorithm="broken",
+        meta={},
+    )
+    # node 0 holds chunk 1 (not 0), node 1 holds chunk 0 (not 1):
+    # each send's payload is forever on the wrong side
+    with pytest.raises(RuntimeError, match="deadlock"):
+        run_async(
+            CUBE,
+            sched,
+            PortModel.ONE_PORT_FULL,
+            {0: {("b", 1)}, 1: {("b", 0)}},
+            UNIT_COST,
+        )
