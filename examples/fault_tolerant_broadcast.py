@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Fault-tolerant broadcasting: routing around dead links and nodes.
+
+An n-cube has n edge-disjoint paths between any pair of nodes (§1 of
+the paper), so up to n-1 link failures leave it connected.  This script
+injects faults into a 4-cube and shows the three degraded-mode
+behaviours of the collectives:
+
+1. n-1 dead links: the MSBT broadcast re-covers the broken subtrees and
+   keeps pipelining — everyone is still served, and the schedule runs
+   cleanly *under* the fault plan as proof it avoids every dead link.
+2. A dead node: the collective falls back to a spanning tree of the
+   surviving cube and reports the unreachable node.
+3. An isolated live node: with on_fault="raise" the collective refuses
+   with a structured FaultError naming who cannot be served; with
+   on_fault="report" it serves the surviving component.
+
+Run:  python examples/fault_tolerant_broadcast.py
+"""
+
+from repro import FaultError, FaultPlan, Hypercube, PortModel, broadcast
+from repro.topology import max_tolerable_failures
+
+N_DIM = 4
+MESSAGE = 16
+PACKET = 4
+
+
+def deliveries(cube, result) -> str:
+    want = set(result.schedule.chunk_sizes)
+    served = sum(1 for v in cube.nodes() if result.sync.holdings[v] >= want)
+    return f"{served}/{cube.num_nodes} nodes hold the full message"
+
+
+def main() -> None:
+    cube = Hypercube(N_DIM)
+    budget = max_tolerable_failures(cube)
+    print(f"cube: {cube}  (tolerates up to {budget} link failures)\n")
+
+    # 1. n-1 dead links: degraded MSBT still delivers to everyone.
+    plan = FaultPlan(dead_links=[(0, 1), (2, 6), (5, 13)])
+    result = broadcast(cube, 0, "msbt", MESSAGE, PACKET,
+                       PortModel.ALL_PORT, faults=plan, run_event_sim=True)
+    print(f"{plan.num_faults} dead links -> {result.algorithm}")
+    print(f"  schedule avoids every dead link: "
+          f"{plan.schedule_is_clean(result.schedule)}")
+    print(f"  {deliveries(cube, result)}  ({result.cycles} routing steps, "
+          f"t={result.time:.1f})\n")
+
+    # 2. A dead node: survivor-tree fallback, the victim is named.
+    plan = FaultPlan(dead_nodes=[9])
+    result = broadcast(cube, 0, "msbt", MESSAGE, PACKET, faults=plan)
+    print(f"dead node 9 -> {result.algorithm}")
+    print(f"  degraded={result.degraded}, "
+          f"unreachable={sorted(result.undelivered_nodes)}")
+    print(f"  {deliveries(cube, result)}\n")
+
+    # 3. An isolated live node: raise vs report.
+    victim = 10
+    plan = FaultPlan(
+        dead_links=[(victim, victim ^ (1 << d)) for d in range(N_DIM)]
+    )
+    print(f"node {victim} isolated by {plan.num_faults} link faults:")
+    try:
+        broadcast(cube, 0, "msbt", MESSAGE, PACKET, faults=plan)
+    except FaultError as exc:
+        print(f"  on_fault='raise'  -> FaultError: {exc}")
+    result = broadcast(cube, 0, "msbt", MESSAGE, PACKET,
+                       faults=plan, on_fault="report")
+    print(f"  on_fault='report' -> served the surviving component, "
+          f"unreachable={sorted(result.undelivered_nodes)}")
+    print(f"  {deliveries(cube, result)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,7 @@ def _extend_api() -> None:
         reduce,
         scatter,
     )
+    from repro.sim.faults import DegradedResult, FaultError, FaultPlan
     from repro.sim.machine import IPSC_D7, MachineParams
     from repro.sim.ports import PortModel
 
@@ -70,6 +71,9 @@ def _extend_api() -> None:
         MachineParams=MachineParams,
         IPSC_D7=IPSC_D7,
         PortModel=PortModel,
+        DegradedResult=DegradedResult,
+        FaultError=FaultError,
+        FaultPlan=FaultPlan,
         cache_stats=cache_stats,
         caching_enabled=caching_enabled,
         clear_caches=clear_caches,
@@ -87,6 +91,9 @@ def _extend_api() -> None:
             "MachineParams",
             "IPSC_D7",
             "PortModel",
+            "DegradedResult",
+            "FaultError",
+            "FaultPlan",
             "cache_stats",
             "caching_enabled",
             "clear_caches",

@@ -26,6 +26,7 @@ import inspect
 from typing import Any, Callable, Hashable, TypeVar
 
 from repro.cache.lru import MISSING, LRUCache, caching_enabled
+from repro.sim.faults import FaultPlan
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Schedule
 from repro.topology.hypercube import Hypercube
@@ -44,8 +45,15 @@ def _normalize(value: Any) -> Hashable:
         return ("port", value.value)
     if isinstance(value, SpanningTree):
         return value.cache_token()
+    if isinstance(value, FaultPlan):
+        # Equal fault sets share an entry; any difference (an extra
+        # dead link, a changed activation time) splits the key, so a
+        # fault-free schedule is never served for a damaged cube.
+        return value.cache_token()
     if isinstance(value, (list, tuple)):
         return tuple(_normalize(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(_normalize(v) for v in value)))
     hash(value)  # unhashable arguments must not be silently collapsed
     return value
 

@@ -20,6 +20,7 @@ from repro.collectives.api import (
     broadcast,
     scatter,
 )
+from repro.sim.faults import FaultError, FaultPlan
 from repro.sim.machine import IPSC_D7, MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.validate import profile_schedule
@@ -62,7 +63,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="port model: half (1 s or r), full (1 s and r), all")
         c.add_argument("--ipsc", action="store_true",
                        help="use the iPSC/d7 machine model and the event engine")
+        c.add_argument("--dead-link", action="append", default=[],
+                       metavar="A:B", dest="dead_links",
+                       help="fail the link between nodes A and B "
+                            "(repeatable); routing avoids it")
+        c.add_argument("--dead-node", action="append", default=[], type=int,
+                       metavar="V", dest="dead_nodes",
+                       help="fail node V entirely (repeatable)")
+        c.add_argument("--on-fault", choices=("raise", "report"),
+                       default="raise",
+                       help="when faults disconnect nodes from the source: "
+                            "raise an error, or report them and serve the rest")
     return parser
+
+
+def _parse_dead_link(spec: str) -> tuple[int, int]:
+    try:
+        a, _, b = spec.partition(":")
+        return (int(a), int(b))
+    except ValueError:
+        raise SystemExit(f"--dead-link expects A:B with integer nodes, got {spec!r}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -86,20 +106,37 @@ def main(argv: Sequence[str] | None = None) -> int:
     cube = Hypercube(args.dim)
     port_model = _PORT_CHOICES[args.ports]
     machine: MachineParams | None = IPSC_D7 if args.ipsc else None
+    faults = None
+    if args.dead_links or args.dead_nodes:
+        faults = FaultPlan(
+            dead_links=[_parse_dead_link(s) for s in args.dead_links],
+            dead_nodes=args.dead_nodes,
+        )
     op = broadcast if args.command == "broadcast" else scatter
-    result = op(
-        cube,
-        args.source,
-        args.algorithm,
-        message_elems=args.message,
-        packet_elems=args.packet,
-        port_model=port_model,
-        machine=machine,
-        run_event_sim=args.ipsc,
-    )
+    try:
+        result = op(
+            cube,
+            args.source,
+            args.algorithm,
+            message_elems=args.message,
+            packet_elems=args.packet,
+            port_model=port_model,
+            machine=machine,
+            run_event_sim=args.ipsc,
+            faults=faults,
+            on_fault=args.on_fault,
+        )
+    except FaultError as exc:
+        print(f"fault: {exc}", file=sys.stderr)
+        return 1
     profile = profile_schedule(cube, result.schedule, source=args.source)
     print(f"{args.command} on {cube} via {result.algorithm}")
     print(f"  port model        : {port_model.describe()}")
+    if faults is not None:
+        print(f"  faults            : {len(faults.dead_links)} links, "
+              f"{len(faults.dead_nodes)} nodes dead")
+        if result.undelivered_nodes:
+            print(f"  unreachable nodes : {sorted(result.undelivered_nodes)}")
     print(f"  routing steps     : {result.cycles}")
     print(f"  simulated time    : {result.time:.6g}"
           + (" s (iPSC/d7, event-driven)" if args.ipsc else " (lock-step units)"))

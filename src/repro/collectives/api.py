@@ -27,6 +27,8 @@ from repro.routing import (
     alltoall_personalized_schedule,
     bst_scatter_schedule,
     dual_hp_broadcast_schedule,
+    fault_tolerant_broadcast_schedule,
+    fault_tolerant_scatter_schedule,
     gather_from_scatter,
     msbt_broadcast_schedule,
     reduce_initial_holdings,
@@ -38,6 +40,7 @@ from repro.routing import (
 )
 from repro.routing.common import MSG
 from repro.sim.engine import run_async
+from repro.sim.faults import FaultError, FaultPlan
 from repro.sim.machine import MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule
@@ -68,14 +71,29 @@ def _run(
     initial: dict[int, set[Chunk]],
     machine: MachineParams | None,
     run_event_sim: bool,
+    faults: FaultPlan | None = None,
+    on_fault: str = "raise",
+    undelivered: frozenset[int] = frozenset(),
 ) -> CollectiveResult:
-    sync = run_synchronous(cube, schedule, port_model, initial, machine)
+    sync = run_synchronous(
+        cube, schedule, port_model, initial, machine,
+        faults=faults, on_fault=on_fault,
+    )
     async_ = (
-        run_async(cube, schedule, port_model, initial, machine)
+        run_async(
+            cube, schedule, port_model, initial, machine,
+            faults=faults, on_fault=on_fault,
+        )
         if run_event_sim
         else None
     )
-    return CollectiveResult(schedule=schedule, sync=sync, async_=async_)
+    return CollectiveResult(
+        schedule=schedule,
+        sync=sync,
+        async_=async_,
+        faults=faults,
+        undelivered_nodes=undelivered,
+    )
 
 
 def broadcast(
@@ -87,6 +105,8 @@ def broadcast(
     port_model: PortModel = PortModel.ONE_PORT_FULL,
     machine: MachineParams | None = None,
     run_event_sim: bool = False,
+    faults: FaultPlan | None = None,
+    on_fault: str = "raise",
 ) -> CollectiveResult:
     """Broadcast ``message_elems`` from ``source`` to every other node.
 
@@ -102,8 +122,23 @@ def broadcast(
         machine: cost parameters (default unit costs).
         run_event_sim: also run the event-driven engine (slower but
             models start-ups/overlap; its time becomes ``result.time``).
+        faults: dead links/nodes to route around.  Link-only fault sets
+            keep the MSBT pipelining (the degraded MSBT schedule);
+            anything else falls back to a fault-avoiding BFS survivor
+            tree.  The engines run under the plan too, so the returned
+            result is proof the schedule avoids every fault.
+        on_fault: ``"raise"`` (default) propagates a
+            :class:`~repro.sim.faults.FaultError` when the faults
+            disconnect some node from the source; ``"report"`` serves
+            the source's surviving component and lists the rest in
+            ``result.undelivered_nodes``.
     """
     packet_elems = message_elems if packet_elems is None else packet_elems
+    if faults:
+        return _broadcast_with_faults(
+            cube, source, algorithm, message_elems, packet_elems,
+            port_model, machine, run_event_sim, faults, on_fault,
+        )
     if algorithm == "sbt":
         sched = sbt_broadcast_schedule(
             cube, source, message_elems, packet_elems, port_model
@@ -135,6 +170,58 @@ def broadcast(
     return result
 
 
+def _broadcast_with_faults(
+    cube: Hypercube,
+    source: int,
+    algorithm: str,
+    message_elems: int,
+    packet_elems: int,
+    port_model: PortModel,
+    machine: MachineParams | None,
+    run_event_sim: bool,
+    faults: FaultPlan,
+    on_fault: str,
+) -> CollectiveResult:
+    """Fault-routed broadcast: degraded MSBT when possible, else FAST.
+
+    The requested ``algorithm`` is honoured only as far as faults
+    allow: ``"msbt"`` with link-only faults keeps the edge-disjoint
+    pipelining; every other combination falls back to the survivor
+    tree (whose schedule the requested algorithm cannot improve on
+    once its structure is broken).
+    """
+    if algorithm not in BROADCAST_ALGORITHMS:
+        raise ValueError(
+            f"unknown broadcast algorithm {algorithm!r}; pick one of {BROADCAST_ALGORITHMS}"
+        )
+    partial = on_fault == "report"
+    covered = frozenset(cube.nodes())
+    sched: Schedule | None = None
+    if algorithm == "msbt" and not faults.dead_nodes:
+        try:
+            sched = msbt_broadcast_schedule(
+                cube, source, message_elems, packet_elems, port_model,
+                dead_links=tuple(sorted(faults.dead_links)),
+            )
+        except FaultError:
+            if not partial:
+                raise
+    if sched is None:
+        sched, tree = fault_tolerant_broadcast_schedule(
+            cube, source, message_elems, packet_elems, port_model,
+            faults, partial=partial,
+        )
+        covered = tree.covered
+    initial = {source: set(sched.chunk_sizes)}
+    result = _run(
+        cube, sched, port_model, initial, machine, run_event_sim,
+        faults=faults, on_fault=on_fault,
+        undelivered=frozenset(cube.nodes()) - covered,
+    )
+    _check_broadcast_delivery(cube, result, covered=covered)
+    return result
+
+
 def scatter(
     cube: Hypercube,
     source: int,
@@ -145,6 +232,8 @@ def scatter(
     machine: MachineParams | None = None,
     run_event_sim: bool = False,
     subtree_order: str = "depth_first",
+    faults: FaultPlan | None = None,
+    on_fault: str = "raise",
 ) -> CollectiveResult:
     """Send a distinct ``message_elems`` message from ``source`` to each node.
 
@@ -158,8 +247,34 @@ def scatter(
         machine: cost parameters (default unit costs).
         run_event_sim: also run the event-driven engine.
         subtree_order: BST in-subtree transmission order (§5.2).
+        faults: dead links/nodes to route around; any non-empty plan
+            replaces ``algorithm`` with the fault-avoiding survivor
+            tree scatter (destinations restricted to reachable nodes).
+        on_fault: ``"raise"`` (default) propagates a
+            :class:`~repro.sim.faults.FaultError` on a disconnected
+            survivor cube; ``"report"`` scatters to the source's
+            component and lists the rest in
+            ``result.undelivered_nodes``.
     """
     packet_elems = message_elems if packet_elems is None else packet_elems
+    if faults:
+        if algorithm not in SCATTER_ALGORITHMS:
+            raise ValueError(
+                f"unknown scatter algorithm {algorithm!r}; pick one of {SCATTER_ALGORITHMS}"
+            )
+        partial = on_fault == "report"
+        sched, tree = fault_tolerant_scatter_schedule(
+            cube, source, message_elems, packet_elems, port_model,
+            faults, partial=partial,
+        )
+        initial = {source: set(sched.chunk_sizes)}
+        result = _run(
+            cube, sched, port_model, initial, machine, run_event_sim,
+            faults=faults, on_fault=on_fault,
+            undelivered=frozenset(cube.nodes()) - tree.covered,
+        )
+        _check_scatter_delivery(cube, source, result, covered=tree.covered)
+        return result
     sched = _scatter_schedule(
         cube, source, algorithm, message_elems, packet_elems, port_model, subtree_order
     )
@@ -318,17 +433,26 @@ def alltoall_personalized(
     return result
 
 
-def _check_broadcast_delivery(cube: Hypercube, result: CollectiveResult) -> None:
+def _check_broadcast_delivery(
+    cube: Hypercube,
+    result: CollectiveResult,
+    covered: frozenset[int] | None = None,
+) -> None:
     want = set(result.schedule.chunk_sizes)
-    for v in cube.nodes():
+    nodes = cube.nodes() if covered is None else sorted(covered)
+    for v in nodes:
         if not result.sync.holdings[v] >= want:
             raise AssertionError(f"broadcast failed to reach node {v} completely")
 
 
 def _check_scatter_delivery(
-    cube: Hypercube, source: int, result: CollectiveResult
+    cube: Hypercube,
+    source: int,
+    result: CollectiveResult,
+    covered: frozenset[int] | None = None,
 ) -> None:
-    for v in cube.nodes():
+    nodes = cube.nodes() if covered is None else sorted(covered)
+    for v in nodes:
         if v == source:
             continue
         mine = {c for c in result.schedule.chunk_sizes if c[1] == v}

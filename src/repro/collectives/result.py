@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.sim.engine import AsyncResult
+from repro.sim.faults import DegradedResult, FaultPlan
 from repro.sim.schedule import Schedule
 from repro.sim.synchronous import SyncResult
 from repro.sim.trace import LinkStats
@@ -23,11 +24,26 @@ class CollectiveResult:
         async_: asynchronous (event-driven) execution result — wall
             clock under the machine model, or ``None`` when the caller
             skipped the event simulation.
+        faults: the fault plan the collective routed around and ran
+            under, or ``None`` for a fault-free run.
+        undelivered_nodes: nodes the collective could not serve at all
+            (dead, or cut off from the source by the faults); empty
+            unless the fault set exceeds the ``log N - 1`` tolerance
+            bound and ``on_fault="report"`` was requested.
     """
 
     schedule: Schedule
-    sync: SyncResult
-    async_: AsyncResult | None = None
+    sync: SyncResult | DegradedResult
+    async_: AsyncResult | DegradedResult | None = None
+    faults: FaultPlan | None = None
+    undelivered_nodes: frozenset[int] = field(default_factory=frozenset)
+
+    @property
+    def degraded(self) -> bool:
+        """True when some node missed data (faults beat the schedule)."""
+        return bool(self.undelivered_nodes) or isinstance(
+            self.sync, DegradedResult
+        )
 
     @property
     def cycles(self) -> int:

@@ -12,6 +12,11 @@ from repro.routing.broadcast_msbt import msbt_broadcast_schedule
 from repro.routing.broadcast_sbt import sbt_broadcast_schedule
 from repro.routing.broadcast_tree import tree_broadcast_schedule
 from repro.routing.common import broadcast_chunks, scatter_chunks
+from repro.routing.fault_aware import (
+    fault_tolerant_broadcast_schedule,
+    fault_tolerant_scatter_schedule,
+    survivor_broadcast_tree,
+)
 from repro.routing.permutation import (
     permutation_initial_holdings,
     permutation_schedule,
@@ -54,6 +59,9 @@ __all__ = [
     "sbt_broadcast_schedule",
     "tree_broadcast_schedule",
     "broadcast_chunks",
+    "fault_tolerant_broadcast_schedule",
+    "fault_tolerant_scatter_schedule",
+    "survivor_broadcast_tree",
     "permutation_initial_holdings",
     "permutation_schedule",
     "scatter_chunks",

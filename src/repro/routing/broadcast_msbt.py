@@ -14,17 +14,28 @@ greedily (§3.3.2's two-cycles transformation), landing within the
 pipelines its batches independently — the trees are edge-disjoint, so
 ``n`` packets are injected per round and the run takes
 ``ceil(M/(B log N)) + log N`` rounds.
+
+With ``dead_links`` the generator degrades gracefully: each packet
+still pipelines down its assigned ERSBT wherever that tree survives,
+and the subtrees cut off below a dead edge are re-attached through
+fault-avoiding BFS paths (§1's disjoint-path guarantee makes this
+always possible for up to ``log N - 1`` link faults).  The degraded
+schedule never touches a dead link, so it runs clean under the
+matching :class:`~repro.sim.faults.FaultPlan`.
 """
 
 from __future__ import annotations
 
+from collections.abc import Collection
 from math import ceil
 
 from repro.cache import cached_msbt_graph, memoize_schedule
 from repro.routing.common import BCAST, broadcast_chunks
-from repro.routing.scheduler import reschedule
+from repro.routing.scheduler import list_schedule, reschedule
+from repro.sim.faults import FaultError
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Schedule, Transfer
+from repro.topology.fault import fault_avoiding_spanning_tree
 from repro.topology.hypercube import Hypercube
 from repro.trees.msbt import MSBTGraph
 
@@ -38,6 +49,7 @@ def msbt_broadcast_schedule(
     message_elems: int,
     packet_elems: int,
     port_model: PortModel,
+    dead_links: Collection[tuple[int, int]] = (),
 ) -> Schedule:
     """Broadcast ``message_elems`` from ``source`` over the MSBT graph.
 
@@ -45,12 +57,28 @@ def msbt_broadcast_schedule(
     ``meta["predicted_rounds"]`` carries the paper's closed-form step
     count (for ``ONE_PORT_HALF`` it is the paper's upper bound — the
     greedy serialization may do one round better on tiny cases).
+
+    Args:
+        dead_links: failed links as (a, b) pairs, direction-agnostic.
+            When non-empty the schedule routes around them (see the
+            module docstring); the closed-form round counts no longer
+            apply, so ``predicted_rounds`` is omitted and the
+            algorithm tag becomes ``"msbt-broadcast-degraded"``.
+
+    Raises:
+        FaultError: when ``dead_links`` disconnect some node from the
+            source (requires at least ``log N`` faults); the error's
+            ``undelivered`` names the unreachable nodes.
     """
     cube.check_node(source)
     sizes = broadcast_chunks(message_elems, packet_elems)
     n_packets = len(sizes)
     n = cube.dimension
     graph = cached_msbt_graph(cube, source)
+
+    dead = {(min(a, b), max(a, b)) for a, b in dead_links}
+    if dead:
+        return _degraded(graph, sizes, n_packets, port_model, dead)
 
     if port_model is PortModel.ALL_PORT:
         return _all_port(graph, sizes, n_packets)
@@ -135,5 +163,96 @@ def _all_port(graph: MSBTGraph, sizes: dict, n_packets: int) -> Schedule:
             "port_model": PortModel.ALL_PORT.value,
             "source": graph.source,
             "predicted_rounds": ceil(n_packets / n) + n,
+        },
+    )
+
+
+def _degraded(
+    graph: MSBTGraph,
+    sizes: dict,
+    n_packets: int,
+    port_model: PortModel,
+    dead: set[tuple[int, int]],
+) -> Schedule:
+    """MSBT broadcast over a cube with failed links.
+
+    A single link fault can damage up to two of the ``n`` edge-disjoint
+    trees, so with ``n - 1`` faults every tree may be broken — dropping
+    damaged trees wholesale cannot meet §1's tolerance bound.  Instead
+    each packet keeps the intact portion of its assigned tree, and the
+    *orphans* (nodes whose tree path to the source crosses a dead edge)
+    are re-attached through their fault-avoiding BFS path: walking the
+    survivor tree upward from each orphan until a node that still
+    receives the packet through the tree, then relaying down that chain.
+    The resulting transfer list is packed by :func:`list_schedule`, so
+    the output is constraint-valid under any port model by construction.
+    """
+    cube = graph.cube
+    n = graph.n
+    source = graph.source
+
+    fast = fault_avoiding_spanning_tree(cube, source, dead_links=dead, partial=True)
+    missing = sorted(v for v in cube.nodes() if v not in fast)
+    if missing:
+        raise FaultError(
+            f"{len(dead)} dead links disconnect {len(missing)} nodes from "
+            f"source {source} (e.g. {missing[:4]})",
+            undelivered=missing,
+        )
+    fast_level: dict[int, int] = {}
+    for v in fast:
+        depth, u = 0, v
+        while fast[u] is not None:
+            u = fast[u]  # type: ignore[assignment]
+            depth += 1
+        fast_level[v] = depth
+
+    items: list[tuple[tuple[int, int, int], Transfer]] = []
+    for p in range(n_packets):
+        j = p % n
+        tree = graph.trees[j]
+        chunk = frozenset({(BCAST, p)})
+
+        orphan: set[int] = set()
+        for v in sorted(cube.nodes(), key=tree.levels.__getitem__):
+            parent = tree.parent(v)
+            if parent is None:
+                continue
+            if (min(parent, v), max(parent, v)) in dead or parent in orphan:
+                orphan.add(v)
+
+        for v in cube.nodes():
+            lab = tree.label(v)
+            if lab is None or v in orphan:
+                continue
+            parent = tree.parent(v)
+            assert parent is not None
+            items.append(((p, 0, lab), Transfer(parent, v, chunk)))
+
+        # Patch chains, deduplicated: orphans sharing a survivor-tree
+        # prefix receive through one relay of the packet, not several.
+        patch: dict[tuple[int, int], int] = {}
+        for v in sorted(orphan):
+            u = v
+            while u in orphan:
+                pu = fast[u]
+                assert pu is not None  # the source is never an orphan
+                patch[(pu, u)] = fast_level[u]
+                u = pu
+        for (a, b), lvl in sorted(patch.items(), key=lambda kv: (kv[1], kv[0])):
+            items.append(((p, 1, lvl), Transfer(a, b, chunk)))
+
+    items.sort(key=lambda kv: kv[0])
+    return list_schedule(
+        cube,
+        [t for _, t in items],
+        sizes,
+        port_model,
+        {source: set(sizes)},
+        algorithm="msbt-broadcast-degraded",
+        meta={
+            "port_model": port_model.value,
+            "source": source,
+            "dead_links": tuple(sorted(dead)),
         },
     )

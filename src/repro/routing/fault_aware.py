@@ -1,0 +1,143 @@
+"""Collective fallbacks that route around a :class:`FaultPlan`.
+
+The structured schedules (SBT/MSBT/BST waves) assume an intact cube.
+When a :class:`~repro.sim.faults.FaultPlan` is in play the collectives
+layer falls back to the generators here: a fault-avoiding BFS survivor
+tree (§1's disjoint-path guarantee keeps the live cube connected below
+``log N`` failures) driven through the generic pipelined-broadcast and
+wave-scatter machinery.
+
+The fallback is conservative about *time-activated* faults: it avoids
+every link and node in the plan regardless of activation time, so the
+schedules produced here never touch a faulty component and run clean
+under the plan in either engine.
+"""
+
+from __future__ import annotations
+
+from repro.routing.broadcast_tree import tree_broadcast_schedule
+from repro.routing.scatter_common import wave_scatter_schedule
+from repro.routing.scheduler import reschedule
+from repro.sim.faults import FaultError, FaultPlan
+from repro.sim.ports import PortModel
+from repro.sim.schedule import Schedule
+from repro.topology.fault import fault_avoiding_spanning_tree
+from repro.topology.hypercube import Hypercube
+from repro.trees.mapped import SurvivorTree
+
+__all__ = [
+    "survivor_broadcast_tree",
+    "fault_tolerant_broadcast_schedule",
+    "fault_tolerant_scatter_schedule",
+]
+
+
+def survivor_broadcast_tree(
+    cube: Hypercube,
+    source: int,
+    faults: FaultPlan,
+    partial: bool = False,
+) -> SurvivorTree:
+    """The fault-avoiding BFS tree of the surviving cube, as a tree object.
+
+    Args:
+        cube: the host cube.
+        source: tree root (the collective's source; must be alive).
+        faults: the fault plan to route around (all of it, including
+            faults that only activate later — see the module docstring).
+        partial: when True, a disconnected surviving cube yields the
+            tree of the source's reachable component; callers then
+            consult :attr:`SurvivorTree.covered` to report the rest.
+
+    Raises:
+        FaultError: when the source itself is dead, or — with
+            ``partial`` False — when the faults disconnect live nodes
+            from the source (``undelivered`` names them).
+    """
+    if source in faults.dead_nodes:
+        raise FaultError(
+            f"broadcast source {source} is a dead node",
+            node=source,
+            undelivered=tuple(v for v in cube.nodes() if v != source),
+        )
+    try:
+        parents = fault_avoiding_spanning_tree(
+            cube,
+            source,
+            dead_links=faults.dead_links,
+            dead_nodes=faults.dead_nodes,
+            partial=partial,
+        )
+    except ValueError as exc:
+        reachable = fault_avoiding_spanning_tree(
+            cube,
+            source,
+            dead_links=faults.dead_links,
+            dead_nodes=faults.dead_nodes,
+            partial=True,
+        )
+        missing = tuple(
+            v
+            for v in cube.nodes()
+            if v not in reachable and v not in faults.dead_nodes
+        )
+        raise FaultError(str(exc), undelivered=missing) from None
+    return SurvivorTree(cube, source, parents)
+
+
+def fault_tolerant_broadcast_schedule(
+    cube: Hypercube,
+    source: int,
+    message_elems: int,
+    packet_elems: int,
+    port_model: PortModel,
+    faults: FaultPlan,
+    partial: bool = False,
+) -> tuple[Schedule, SurvivorTree]:
+    """Pipelined broadcast over the survivor tree.
+
+    Returns the schedule and the tree it runs on; with ``partial`` the
+    schedule covers only :attr:`SurvivorTree.covered` and the caller is
+    responsible for reporting the unreachable nodes.
+    """
+    tree = survivor_broadcast_tree(cube, source, faults, partial=partial)
+    schedule = tree_broadcast_schedule(
+        tree, message_elems, packet_elems, port_model
+    )
+    schedule.meta.update(faults=faults.cache_token())
+    return schedule, tree
+
+
+def fault_tolerant_scatter_schedule(
+    cube: Hypercube,
+    source: int,
+    message_elems: int,
+    packet_elems: int,
+    port_model: PortModel,
+    faults: FaultPlan,
+    partial: bool = False,
+) -> tuple[Schedule, SurvivorTree]:
+    """Wave scatter over the survivor tree (serialized for one-port).
+
+    The destination set is the tree's covered nodes, so with ``partial``
+    the dead/unreachable destinations simply receive no pieces — the
+    chunk universe itself shrinks and delivery checks must restrict to
+    :attr:`SurvivorTree.covered`.
+    """
+    tree = survivor_broadcast_tree(cube, source, faults, partial=partial)
+    name = "fault-avoiding-scatter"
+    dests = tuple(sorted(tree.covered - {source}))
+    wave = wave_scatter_schedule(
+        tree, message_elems, packet_elems, algorithm=name, dests=dests
+    )
+    if port_model is not PortModel.ALL_PORT:
+        wave = reschedule(
+            cube, wave, port_model, {source: set(wave.chunk_sizes)}
+        )
+        wave.algorithm = name
+    wave.meta.update(
+        port_model=port_model.value,
+        source=source,
+        faults=faults.cache_token(),
+    )
+    return wave, tree

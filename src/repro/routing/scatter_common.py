@@ -62,6 +62,7 @@ def wave_scatter_schedule(
     message_elems: int,
     packet_elems: int,
     algorithm: str,
+    dests: tuple[int, ...] | None = None,
 ) -> Schedule:
     """Level-by-level scatter over an arbitrary spanning tree (lemma 4.2).
 
@@ -70,9 +71,17 @@ def wave_scatter_schedule(
     (edge, step) pair are bundled, and bundles beyond ``packet_elems``
     are split into micro-rounds.  Valid under the all-port model by
     construction (one bundle per directed edge per step).
+
+    Args:
+        dests: destination nodes (default: every non-root cube node).
+            Degraded-mode callers restrict this to the nodes a partial
+            survivor tree actually covers.
     """
     cube = tree.cube
-    dests = [d for d in cube.nodes() if d != tree.root]
+    if dests is None:
+        dests = tuple(d for d in cube.nodes() if d != tree.root)
+    else:
+        dests = tuple(sorted(set(dests) - {tree.root}))
     sizes = scatter_chunks(dests, message_elems, packet_elems)
     height = tree.height
 

@@ -10,6 +10,7 @@ Two engines over one schedule representation:
 """
 
 from repro.sim.engine import AsyncResult, run_async
+from repro.sim.faults import DegradedResult, FaultError, FaultEvent, FaultPlan
 from repro.sim.machine import IPSC_D7, UNIT_COST, ZERO_STARTUP, MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer, merge_schedules
@@ -19,6 +20,10 @@ from repro.sim.trace import LinkStats
 __all__ = [
     "AsyncResult",
     "run_async",
+    "DegradedResult",
+    "FaultError",
+    "FaultEvent",
+    "FaultPlan",
     "IPSC_D7",
     "UNIT_COST",
     "ZERO_STARTUP",

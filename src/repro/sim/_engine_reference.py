@@ -17,6 +17,14 @@ import heapq
 from dataclasses import dataclass
 
 from repro.sim.engine import AsyncResult
+from repro.sim.faults import (
+    DegradedResult,
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+    _check_mode,
+    undelivered_map,
+)
 from repro.sim.machine import MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer
@@ -77,13 +85,25 @@ def run_async_reference(
     port_model: PortModel,
     initial_holdings: dict[int, set[Chunk]],
     machine: MachineParams | None = None,
-) -> AsyncResult:
+    faults: FaultPlan | None = None,
+    on_fault: str = "raise",
+) -> AsyncResult | DegradedResult:
     """Event-driven execution of ``schedule`` under ``port_model``.
 
     Raises ``RuntimeError`` on deadlock — i.e. when a pending transfer's
     payload can never arrive because the schedule is causally broken.
+
+    Fault semantics are identical to :func:`repro.sim.engine.run_async`
+    (the equivalence suite's fault matrix pins both engines to the same
+    outcomes): a transfer starting on an active fault raises
+    :class:`FaultError` or — in ``report`` mode — is cancelled, with
+    the starvation cascade terminating in a :class:`DegradedResult`.
     """
     machine = machine or MachineParams()
+    _check_mode(on_fault)
+    report = faults is not None and on_fault == "report"
+    fault_events: list[FaultEvent] = []
+    lost: list[Transfer] = []
     half = port_model.half_duplex
     allport = port_model is PortModel.ALL_PORT
 
@@ -162,6 +182,26 @@ def run_async_reference(
                 if start > now + _EPS:
                     heapq.heappush(wake, start)
                     continue
+                if faults is not None:
+                    hit = faults.blocks(t.src, t.dst, start)
+                    if hit is not None:
+                        kind, subject = hit
+                        if on_fault == "raise":
+                            raise FaultError(
+                                f"transfer {t.src}->{t.dst} blocked by dead "
+                                f"{kind} {subject} at t={start:.6g}; pending "
+                                f"chunks {sorted(map(repr, t.chunks))[:4]}",
+                                edge=(t.src, t.dst),
+                                node=subject if kind == "node" else None,
+                                time=start,
+                                chunks=t.chunks,
+                            )
+                        fault_events.append(FaultEvent(t, start, kind, subject))
+                        lost.append(t)
+                        done[idx] = True
+                        remaining -= 1
+                        progress = True
+                        continue
                 dur = machine.send_cost(sizes[idx])
                 end = start + dur
                 if not allport:
@@ -191,6 +231,8 @@ def run_async_reference(
                 nxt = cand
                 break
         if nxt is None:
+            if report and fault_events:
+                break  # starvation cascade from cancelled transfers
             stuck = [pending[i] for i in range(len(pending)) if not done[i]][:4]
             raise RuntimeError(
                 f"schedule deadlocked with {remaining} transfers pending, "
@@ -201,6 +243,19 @@ def run_async_reference(
     holdings: dict[int, set[Chunk]] = {node: set() for node in cube.nodes()}
     for (node, chunk) in avail:
         holdings[node].add(chunk)
+
+    if fault_events or remaining:
+        lost.extend(pending[i] for i in range(len(pending)) if not done[i])
+        return DegradedResult(
+            time=finish,
+            holdings=holdings,
+            link_stats=stats,
+            fault_events=fault_events,
+            undelivered=undelivered_map(lost, holdings),
+            transfers_executed=len(start_times),
+            transfers_lost=len(lost),
+            start_times=start_times,
+        )
 
     return AsyncResult(
         time=finish,

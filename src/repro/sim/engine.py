@@ -48,6 +48,14 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro.sim.faults import (
+    DegradedResult,
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+    _check_mode,
+    undelivered_map,
+)
 from repro.sim.machine import MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer
@@ -129,13 +137,29 @@ def run_async(
     port_model: PortModel,
     initial_holdings: dict[int, set[Chunk]],
     machine: MachineParams | None = None,
-) -> AsyncResult:
+    faults: FaultPlan | None = None,
+    on_fault: str = "raise",
+) -> AsyncResult | DegradedResult:
     """Event-driven execution of ``schedule`` under ``port_model``.
 
     Raises ``RuntimeError`` on deadlock — i.e. when a pending transfer's
     payload can never arrive because the schedule is causally broken.
+
+    With a :class:`~repro.sim.faults.FaultPlan`, a transfer whose start
+    instant falls on a dead link or endpoint raises a structured
+    :class:`~repro.sim.faults.FaultError` (``on_fault="raise"``,
+    default) or is cancelled and reported (``on_fault="report"``):
+    the run then continues with the surviving transfers, transfers
+    starved by the cancellation cascade are dropped instead of
+    deadlocking, and a :class:`~repro.sim.faults.DegradedResult` names
+    every undelivered ``(node, chunk)``.  A faulted run that still
+    executes every transfer returns a plain :class:`AsyncResult`.
     """
     machine = machine or MachineParams()
+    _check_mode(on_fault)
+    report = faults is not None and on_fault == "report"
+    fault_events: list[FaultEvent] = []
+    lost: list[Transfer] = []
     half = port_model.half_duplex
     allport = port_model is PortModel.ALL_PORT
     overlap = machine.overlap
@@ -280,6 +304,11 @@ def run_async(
                 if cand is None or te > cand + _EPS:
                     cand = te
             else:
+                if report and fault_events:
+                    # Starvation cascade from cancelled transfers: the
+                    # pending payloads can never arrive.  Terminate the
+                    # degraded run instead of diagnosing a deadlock.
+                    break
                 stuck = [
                     transfers[i] for i in range(n_transfers) if not done[i]
                 ][:4]
@@ -347,6 +376,26 @@ def run_async(
             _push_exam(idx, start)
             continue
 
+        if faults is not None:
+            hit = faults.blocks(t.src, t.dst, start)
+            if hit is not None:
+                kind, subject = hit
+                if on_fault == "raise":
+                    raise FaultError(
+                        f"transfer {t.src}->{t.dst} blocked by dead {kind} "
+                        f"{subject} at t={start:.6g}; pending chunks "
+                        f"{sorted(map(repr, t.chunks))[:4]}",
+                        edge=(t.src, t.dst),
+                        node=subject if kind == "node" else None,
+                        time=start,
+                        chunks=t.chunks,
+                    )
+                fault_events.append(FaultEvent(t, start, kind, subject))
+                lost.append(t)
+                done[idx] = True
+                remaining -= 1
+                continue
+
         dur = costs[idx]
         end = start + dur
         if not allport:
@@ -386,6 +435,19 @@ def run_async(
         holdings[node].add(chunk)
 
     start_times.sort()  # stable: equal start times keep execution order
+
+    if fault_events or remaining:
+        lost.extend(transfers[i] for i in range(n_transfers) if not done[i])
+        return DegradedResult(
+            time=finish,
+            holdings=holdings,
+            link_stats=stats,
+            fault_events=fault_events,
+            undelivered=undelivered_map(lost, holdings),
+            transfers_executed=len(start_times),
+            transfers_lost=len(lost),
+            start_times=start_times,
+        )
 
     return AsyncResult(
         time=finish,

@@ -27,6 +27,14 @@ try:  # the vectorized constraint fast path is optional
 except ImportError:  # pragma: no cover - numpy is a standard dependency
     _np = None
 
+from repro.sim.faults import (
+    DegradedResult,
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+    _check_mode,
+    undelivered_map,
+)
 from repro.sim.machine import MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer
@@ -164,7 +172,9 @@ def run_synchronous(
     initial_holdings: dict[int, set[Chunk]],
     machine: MachineParams | None = None,
     validate: bool = True,
-) -> SyncResult:
+    faults: FaultPlan | None = None,
+    on_fault: str = "raise",
+) -> SyncResult | DegradedResult:
     """Execute ``schedule`` in lock-step under ``port_model``.
 
     Args:
@@ -176,19 +186,70 @@ def run_synchronous(
         machine: cost parameters (default: unit costs).
         validate: when True (default), raise :class:`ScheduleViolation`
             on any port-model or causality breach.
+        faults: failed links/nodes to enforce.  A transfer touching a
+            fault active at its round's start time raises
+            :class:`~repro.sim.faults.FaultError` (``on_fault="raise"``)
+            or is cancelled and reported (``on_fault="report"``).
+        on_fault: ``"raise"`` (default) or ``"report"``.  In report
+            mode, transfers starved by a cancellation cascade are
+            dropped instead of raising :class:`ScheduleViolation`, and
+            a degraded run returns a
+            :class:`~repro.sim.faults.DegradedResult` naming every
+            undelivered ``(node, chunk)``.
 
     Returns:
-        A :class:`SyncResult`; ``cycles`` counts non-empty rounds.
+        A :class:`SyncResult` (``cycles`` counts non-empty rounds), or
+        a :class:`~repro.sim.faults.DegradedResult` when faults
+        actually cancelled transfers in report mode.
     """
     machine = machine or MachineParams()
+    _check_mode(on_fault)
+    report = faults is not None and on_fault == "report"
+    fault_events: list[FaultEvent] = []
+    lost: list[Transfer] = []
+    executed = 0
     holdings: dict[int, set[Chunk]] = {
         node: set(initial_holdings.get(node, set())) for node in cube.nodes()
     }
     stats = LinkStats()
     step_costs: list[float] = []
     cycles = 0
+    elapsed = 0.0
 
     for r_idx, round_transfers in enumerate(schedule.rounds):
+        if not round_transfers:
+            continue
+        if faults is not None:
+            keep: list[Transfer] = []
+            for t in round_transfers:
+                hit = faults.blocks(t.src, t.dst, elapsed)
+                if hit is None:
+                    keep.append(t)
+                    continue
+                kind, subject = hit
+                if on_fault == "raise":
+                    raise FaultError(
+                        f"round {r_idx}: transfer {t.src}->{t.dst} blocked by "
+                        f"dead {kind} {subject} at t={elapsed:.6g}; pending "
+                        f"chunks {sorted(map(repr, t.chunks))[:4]}",
+                        edge=(t.src, t.dst),
+                        node=subject if kind == "node" else None,
+                        time=elapsed,
+                        chunks=t.chunks,
+                    )
+                fault_events.append(FaultEvent(t, elapsed, kind, subject))
+                lost.append(t)
+            round_transfers = tuple(keep)
+        if report:
+            # Transfers starved by the cancellation cascade are dropped,
+            # not violations — their payload can no longer arrive.
+            keep = []
+            for t in round_transfers:
+                if t.chunks - holdings[t.src]:
+                    lost.append(t)
+                else:
+                    keep.append(t)
+            round_transfers = tuple(keep)
         if not round_transfers:
             continue
         cycles += 1
@@ -209,7 +270,22 @@ def run_synchronous(
         # Deliveries land after the whole round (lock-step semantics):
         for t in round_transfers:
             holdings[t.dst] |= t.chunks
+        executed += len(round_transfers)
         step_costs.append(machine.send_cost(biggest))
+        elapsed += step_costs[-1]
+
+    if lost or fault_events:
+        return DegradedResult(
+            time=sum(step_costs),
+            holdings=holdings,
+            link_stats=stats,
+            fault_events=fault_events,
+            undelivered=undelivered_map(lost, holdings),
+            transfers_executed=executed,
+            transfers_lost=len(lost),
+            cycles=cycles,
+            step_costs=step_costs,
+        )
 
     return SyncResult(
         cycles=cycles,

@@ -72,6 +72,7 @@ def fault_avoiding_spanning_tree(
     root: int,
     dead_links: Collection[tuple[int, int]] = (),
     dead_nodes: Collection[int] = (),
+    partial: bool = False,
 ) -> dict[int, int | None]:
     """A BFS spanning tree of the surviving cube (parent map).
 
@@ -83,12 +84,22 @@ def fault_avoiding_spanning_tree(
 
         parents = fault_avoiding_spanning_tree(cube, 0, dead_links=[(0, 1)])
 
+    Args:
+        cube: the host cube.
+        root: tree root (must be alive).
+        dead_links: failed links as (a, b) pairs, direction-agnostic.
+        dead_nodes: failed nodes.
+        partial: when True, a disconnected surviving cube yields the
+            tree of the root's reachable component instead of raising —
+            degraded-mode callers then report the missing nodes.
+
     Returns:
         Parent map over the live nodes (``None`` at the root).
 
     Raises:
         ValueError: when failures disconnect some live node from the
-            root (possible once ``len(failures) >= log N``).
+            root (possible once ``len(failures) >= log N``) and
+            ``partial`` is False.
     """
     from collections import deque
 
@@ -109,7 +120,7 @@ def fault_avoiding_spanning_tree(
             parents[nxt] = node
             queue.append(nxt)
     live = cube.num_nodes - len(bad_nodes)
-    if len(parents) != live:
+    if len(parents) != live and not partial:
         missing = sorted(
             v for v in cube.nodes() if v not in parents and v not in bad_nodes
         )

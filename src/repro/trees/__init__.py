@@ -10,6 +10,7 @@ from repro.trees.bst import (
 )
 from repro.trees.hamiltonian import HamiltonianPathTree
 from repro.trees.hp_variants import CenteredHamiltonianPathTree, hamiltonian_cycle
+from repro.trees.mapped import SurvivorTree
 from repro.trees.msbt import (
     EdgeReversedSBT,
     MSBTGraph,
@@ -44,4 +45,5 @@ __all__ = [
     "HamiltonianPathTree",
     "CenteredHamiltonianPathTree",
     "hamiltonian_cycle",
+    "SurvivorTree",
 ]

@@ -1,0 +1,116 @@
+"""Cache correctness under faults: damaged cubes never reuse clean keys.
+
+The schedule cache keys on normalized generator arguments, so a
+``dead_links``/``FaultPlan`` argument must split the key space — a
+fault-free cached schedule must never be served for a damaged cube,
+and vice versa.  Survivor trees carry their full parent map in their
+cache token for the same reason.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import cache_stats, clear_caches
+from repro.cache.schedules import _normalize
+from repro.routing import msbt_broadcast_schedule, tree_broadcast_schedule
+from repro.routing.fault_aware import survivor_broadcast_tree
+from repro.sim import FaultPlan, PortModel
+from repro.topology import Hypercube
+from repro.trees import SurvivorTree
+
+CUBE = Hypercube(3)
+PM = PortModel.ONE_PORT_FULL
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestNormalization:
+    def test_fault_plan_normalizes_to_its_token(self):
+        plan = FaultPlan(dead_links=[(1, 0)], dead_nodes=[(4, 2.0)])
+        assert _normalize(plan) == plan.cache_token()
+        # spelled differently but equal -> same key component
+        assert _normalize(plan) == _normalize(
+            FaultPlan(dead_links=[(0, 1, 0.0)], dead_nodes=[(4, 2.0)])
+        )
+
+    def test_distinct_plans_normalize_apart(self):
+        a = FaultPlan(dead_links=[(0, 1)])
+        b = FaultPlan(dead_links=[(0, 1, 5.0)])  # same link, later onset
+        assert _normalize(a) != _normalize(b)
+        assert _normalize(a) != _normalize(FaultPlan())
+
+    def test_sets_normalize_order_free(self):
+        assert _normalize({(0, 1), (2, 3)}) == _normalize(
+            frozenset({(2, 3), (0, 1)})
+        )
+
+
+class TestScheduleKeys:
+    def test_dead_links_split_the_key(self):
+        clean = msbt_broadcast_schedule(CUBE, 0, 6, 2, PM)
+        damaged = msbt_broadcast_schedule(CUBE, 0, 6, 2, PM, dead_links=((0, 1),))
+        assert clean.algorithm == "msbt-broadcast"
+        assert damaged.algorithm == "msbt-broadcast-degraded"
+        # the degraded schedule genuinely avoids the dead link
+        assert FaultPlan(dead_links=[(0, 1)]).schedule_is_clean(damaged)
+        assert not FaultPlan(dead_links=[(0, 1)]).schedule_is_clean(clean)
+        # and asking for the clean cube again returns the clean schedule
+        again = msbt_broadcast_schedule(CUBE, 0, 6, 2, PM)
+        assert again.algorithm == "msbt-broadcast"
+        assert again.rounds == clean.rounds
+
+    def test_cache_stats_reflect_new_fault_keys(self):
+        name = "schedules.msbt_broadcast_schedule"
+        msbt_broadcast_schedule(CUBE, 0, 6, 2, PM)
+        base = cache_stats()[name]
+        assert base["misses"] >= 1
+
+        # a new fault set is a miss, repeating it is a hit
+        msbt_broadcast_schedule(CUBE, 0, 6, 2, PM, dead_links=((2, 6),))
+        after_miss = cache_stats()[name]
+        assert after_miss["misses"] == base["misses"] + 1
+        msbt_broadcast_schedule(CUBE, 0, 6, 2, PM, dead_links=((2, 6),))
+        after_hit = cache_stats()[name]
+        assert after_hit["hits"] == after_miss["hits"] + 1
+        assert after_hit["misses"] == after_miss["misses"]
+
+    def test_different_fault_sets_get_different_schedules(self):
+        a = msbt_broadcast_schedule(CUBE, 0, 6, 2, PM, dead_links=((0, 1),))
+        b = msbt_broadcast_schedule(CUBE, 0, 6, 2, PM, dead_links=((0, 2),))
+        assert not FaultPlan(dead_links=[(0, 2)]).schedule_is_clean(a) or (
+            a.rounds != b.rounds
+        )
+        assert FaultPlan(dead_links=[(0, 2)]).schedule_is_clean(b)
+
+
+class TestSurvivorTreeTokens:
+    def test_token_encodes_the_parent_map(self):
+        t1 = survivor_broadcast_tree(CUBE, 0, FaultPlan(dead_links=[(0, 1)]))
+        t2 = survivor_broadcast_tree(CUBE, 0, FaultPlan(dead_links=[(0, 2)]))
+        t3 = survivor_broadcast_tree(CUBE, 0, FaultPlan(dead_links=[(0, 1)]))
+        assert t1.cache_token() != t2.cache_token()
+        assert t1.cache_token() == t3.cache_token()
+
+    def test_generic_broadcast_not_cross_served(self):
+        t1 = survivor_broadcast_tree(CUBE, 0, FaultPlan(dead_links=[(0, 1)]))
+        t2 = survivor_broadcast_tree(CUBE, 0, FaultPlan(dead_links=[(0, 2)]))
+        s1 = tree_broadcast_schedule(t1, 4, 2, PM)
+        s2 = tree_broadcast_schedule(t2, 4, 2, PM)
+        assert FaultPlan(dead_links=[(0, 1)]).schedule_is_clean(s1)
+        assert FaultPlan(dead_links=[(0, 2)]).schedule_is_clean(s2)
+        # the cached s1 must not leak into the t2 call
+        assert not FaultPlan(dead_links=[(0, 2)]).schedule_is_clean(s1)
+
+    def test_partial_tree_covered_set(self):
+        plan = FaultPlan(dead_nodes=[7])
+        tree = survivor_broadcast_tree(CUBE, 0, plan, partial=True)
+        assert isinstance(tree, SurvivorTree)
+        assert tree.covered == frozenset(range(7))
+        with pytest.raises(ValueError, match="not covered"):
+            tree.parent(7)

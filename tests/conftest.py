@@ -1,10 +1,31 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.topology import Hypercube
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # CI runs derandomized so a red build is reproducible locally by
+    # loading the same profile (HYPOTHESIS_PROFILE=ci); dev keeps
+    # hypothesis's random exploration but drops the per-example
+    # deadline, which flakes on loaded CI runners and slow laptops.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
 
 
 @pytest.fixture(params=[2, 3, 4, 5])

@@ -27,9 +27,11 @@ from repro.routing import (
 )
 from repro.sim._engine_reference import run_async_reference
 from repro.sim.engine import run_async
+from repro.sim.faults import DegradedResult, FaultError, FaultPlan
 from repro.sim.machine import IPSC_D7, UNIT_COST, MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Schedule, Transfer
+from repro.sim.synchronous import run_synchronous
 from repro.topology.hypercube import Hypercube
 from repro.trees.hamiltonian import HamiltonianPathTree
 from repro.trees.tcbt import TwoRootedCompleteBinaryTree
@@ -98,6 +100,87 @@ def test_indexed_engine_matches_reference(source, port_model, machine):
         # the reference appends in execution order; the new engine's
         # contract is sorted ascending, so compare against the sort
         assert new.start_times == sorted(ref.start_times), name
+
+
+#: fault plans for the differential matrix — immediate links/nodes,
+#: combinations, and time-activated variants (cube-4 addresses)
+FAULT_PLANS = [
+    FaultPlan(dead_links=[(0, 1)]),
+    FaultPlan(dead_links=[(2, 6), (4, 5)]),
+    FaultPlan(dead_nodes=[6]),
+    FaultPlan(dead_links=[(0, 8)], dead_nodes=[9]),
+    FaultPlan(dead_links=[(0, 1, 40.0)]),
+    FaultPlan(dead_nodes=[(3, 25.0)]),
+]
+
+
+def _run_or_fault(engine, sched, port_model, init, machine, plan, mode):
+    try:
+        return engine(
+            CUBE, sched, port_model, {k: set(v) for k, v in init.items()},
+            machine, faults=plan, on_fault=mode,
+        )
+    except FaultError as err:
+        return err
+
+
+@pytest.mark.parametrize("mode", ["raise", "report"])
+@pytest.mark.parametrize("port_model", list(PortModel), ids=lambda p: p.value)
+def test_fault_matrix_async_engines_agree(port_model, mode):
+    """Under every fault plan, the indexed engine and the reference
+    oracle agree on the full outcome: same FaultError (edge and time)
+    in raise mode, bit-identical results — degraded or not — in report
+    mode, including the undelivered map and the cancelled-event set."""
+    for name, sched, init in _schedules(0, port_model):
+        for plan in FAULT_PLANS:
+            new = _run_or_fault(
+                run_async, sched, port_model, init, UNIT_COST, plan, mode
+            )
+            ref = _run_or_fault(
+                run_async_reference, sched, port_model, init, UNIT_COST, plan, mode
+            )
+            label = f"{name}/{plan!r}/{mode}"
+            assert type(new) is type(ref), label
+            if isinstance(new, FaultError):
+                assert new.edge == ref.edge, label
+                assert new.time == ref.time, label
+                assert new.chunks == ref.chunks, label
+                continue
+            assert new.time == ref.time, label
+            assert new.holdings == ref.holdings, label
+            assert new.link_stats == ref.link_stats, label
+            assert sorted(new.start_times) == sorted(ref.start_times), label
+            if isinstance(new, DegradedResult):
+                assert new.undelivered == ref.undelivered, label
+                assert new.transfers_lost == ref.transfers_lost, label
+                assert set(new.fault_events) == set(ref.fault_events), label
+
+
+@pytest.mark.parametrize("port_model", list(PortModel), ids=lambda p: p.value)
+def test_fault_matrix_sync_delivers_same_set(port_model):
+    """For *immediate* faults the lock-step engine must end with the
+    same holdings as the event engines on every generated schedule —
+    a fault active from time 0 cancels the same transfers regardless of
+    how rounds map to wall-clock instants.  (Time-activated faults may
+    legitimately diverge: the engines place round starts at different
+    times; that boundary is documented, not asserted.)"""
+    for name, sched, init in _schedules(0, port_model):
+        for plan in FAULT_PLANS:
+            if not plan.is_immediate:
+                continue
+            sync = run_synchronous(
+                CUBE, sched, port_model, {k: set(v) for k, v in init.items()},
+                faults=plan, on_fault="report",
+            )
+            ref = run_async_reference(
+                CUBE, sched, port_model, {k: set(v) for k, v in init.items()},
+                faults=plan, on_fault="report",
+            )
+            label = f"{name}/{plan!r}"
+            assert type(sync).__name__ in ("SyncResult", "DegradedResult"), label
+            assert sync.holdings == ref.holdings, label
+            if isinstance(sync, DegradedResult):
+                assert sync.undelivered == ref.undelivered, label
 
 
 def test_start_times_sorted_ascending():

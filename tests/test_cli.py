@@ -60,6 +60,46 @@ class TestCommands:
         assert code == 0
         assert "iPSC/d7" in capsys.readouterr().out
 
+    def test_dead_link_degraded_broadcast(self, capsys):
+        code = main([
+            "broadcast", "--dim", "3", "-a", "msbt", "-M", "8", "-B", "4",
+            "--dead-link", "0:1", "--dead-link", "2:6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "msbt-broadcast-degraded" in out
+        assert "faults            : 2 links, 0 nodes dead" in out
+        assert "unreachable" not in out
+
+    def test_dead_node_report_mode(self, capsys):
+        code = main([
+            "broadcast", "--dim", "3", "-a", "msbt", "-M", "4",
+            "--dead-node", "5", "--on-fault", "report",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unreachable nodes : [5]" in out
+
+    def test_disconnecting_faults_fail_loudly(self, capsys):
+        code = main([
+            "broadcast", "--dim", "3", "-M", "4",
+            "--dead-link", "0:1", "--dead-link", "0:2", "--dead-link", "0:4",
+        ])
+        assert code == 1
+        assert "fault:" in capsys.readouterr().err
+
+    def test_scatter_with_dead_link(self, capsys):
+        code = main([
+            "scatter", "--dim", "3", "-a", "bst", "-M", "4",
+            "--dead-link", "1:3",
+        ])
+        assert code == 0
+        assert "fault-avoiding-scatter" in capsys.readouterr().out
+
+    def test_malformed_dead_link_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["broadcast", "--dim", "3", "--dead-link", "zero:one"])
+
     def test_figure_command_dispatches(self, capsys, monkeypatch):
         # patch in a tiny stand-in so the test stays fast
         from repro import experiments
