@@ -1,9 +1,15 @@
 #!/usr/bin/env python
 """Run the benchmark-regression suite and compare against the baseline.
 
-Runs ``benchmarks/bench_regression.py`` under pytest-benchmark, pulls
-each benchmark's median, and compares it with ``BENCH_ENGINE.json`` at
+Runs one of the benchmark suites under pytest-benchmark, pulls each
+benchmark's median, and compares it with the suite's baseline file at
 the repo root:
+
+* ``--suite engine`` (default): ``benchmarks/bench_regression.py``
+  vs ``BENCH_ENGINE.json`` — engines + schedule generation.
+* ``--suite sweep``: ``benchmarks/bench_sweep.py`` vs
+  ``BENCH_SWEEP.json`` — serial/parallel full-figure sweeps and the
+  disk-cache cold/warm paths.
 
 * ``python scripts/bench_compare.py`` — fail (exit 1) when any median
   exceeds its baseline by more than ``--threshold`` (default 50%) *and*
@@ -30,11 +36,15 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BASELINE_PATH = REPO_ROOT / "BENCH_ENGINE.json"
-BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_regression.py"
+
+#: suite name -> (benchmark file, baseline file at the repo root)
+SUITES = {
+    "engine": ("benchmarks/bench_regression.py", "BENCH_ENGINE.json"),
+    "sweep": ("benchmarks/bench_sweep.py", "BENCH_SWEEP.json"),
+}
 
 
-def run_benchmarks(pytest_args: list[str]) -> dict[str, float]:
+def run_benchmarks(bench_file: Path, pytest_args: list[str]) -> dict[str, float]:
     """Run the regression suite; return {test name: median seconds}."""
     with tempfile.TemporaryDirectory() as tmp:
         json_path = Path(tmp) / "bench.json"
@@ -47,7 +57,7 @@ def run_benchmarks(pytest_args: list[str]) -> dict[str, float]:
             sys.executable,
             "-m",
             "pytest",
-            str(BENCH_FILE),
+            str(bench_file),
             f"--benchmark-json={json_path}",
             "-q",
             *pytest_args,
@@ -59,27 +69,30 @@ def run_benchmarks(pytest_args: list[str]) -> dict[str, float]:
     return {b["name"]: b["stats"]["median"] for b in data["benchmarks"]}
 
 
-def load_baseline() -> dict:
-    if not BASELINE_PATH.exists():
+def load_baseline(baseline_path: Path) -> dict:
+    if not baseline_path.exists():
         return {}
-    return json.loads(BASELINE_PATH.read_text())
+    return json.loads(baseline_path.read_text())
 
 
-def save_baseline(medians: dict[str, float]) -> None:
+def save_baseline(
+    medians: dict[str, float], bench_file: Path, baseline_path: Path
+) -> None:
     payload = {
         "_meta": {
             "updated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
             "python": sys.version.split()[0],
             "platform": sys.platform,
-            "suite": str(BENCH_FILE.relative_to(REPO_ROOT)),
+            "cpu_count": os.cpu_count(),
+            "suite": str(bench_file.relative_to(REPO_ROOT)),
             "stat": "median seconds per round",
         },
         "benchmarks": {
             name: {"median": medians[name]} for name in sorted(medians)
         },
     }
-    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"baseline written: {BASELINE_PATH}")
+    baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written: {baseline_path}")
 
 
 def compare(
@@ -124,6 +137,12 @@ def compare(
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="engine",
+        help="benchmark suite to run (default: engine)",
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="rewrite BENCH_ENGINE.json with the measured medians",
@@ -148,16 +167,19 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    medians = run_benchmarks(args.pytest_args)
+    bench_rel, baseline_rel = SUITES[args.suite]
+    bench_file = REPO_ROOT / bench_rel
+    baseline_path = REPO_ROOT / baseline_rel
+    medians = run_benchmarks(bench_file, args.pytest_args)
     if not medians:
         sys.exit("no benchmark results collected")
     if args.update:
-        save_baseline(medians)
+        save_baseline(medians, bench_file, baseline_path)
         return 0
-    baseline = load_baseline()
+    baseline = load_baseline(baseline_path)
     if not baseline:
         sys.exit(
-            f"no baseline at {BASELINE_PATH}; create one with --update"
+            f"no baseline at {baseline_path}; create one with --update"
         )
     return compare(medians, baseline, args.threshold, args.min_delta)
 

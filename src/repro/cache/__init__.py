@@ -5,10 +5,25 @@ trees and schedules at many ``(M, B, port model)`` points; this package
 makes repeats cheap while keeping results bit-identical to the uncached
 paths (asserted by ``tests/cache``).
 
+An optional second, on-disk layer (:mod:`repro.cache.disk`) persists
+schedules and canonical trees across processes: sweep workers and fresh
+CI runs reuse previously generated artifacts instead of regenerating
+them.
+
 Environment:
-    ``REPRO_CACHE=0`` (or ``off``/``false``/``no``) disables the layer.
+    ``REPRO_CACHE=0`` (or ``off``/``false``/``no``) disables the whole
+    layer (read at import; re-read with ``configure(from_env=True)``).
+    ``REPRO_CACHE_DIR=<dir>`` enables the on-disk layer (read live).
 """
 
+from repro.cache.disk import (
+    DiskCache,
+    configure_disk,
+    disk_cache,
+    disk_cache_dir,
+    schedule_disk,
+    tree_disk,
+)
 from repro.cache.lru import (
     LRUCache,
     MISSING,
@@ -22,6 +37,7 @@ from repro.cache.schedules import memoize_schedule
 from repro.cache.trees import cached_msbt_graph, cached_tree
 
 __all__ = [
+    "DiskCache",
     "LRUCache",
     "MISSING",
     "cache_stats",
@@ -30,6 +46,11 @@ __all__ = [
     "cached_tree",
     "clear_caches",
     "configure",
+    "configure_disk",
     "disabled",
+    "disk_cache",
+    "disk_cache_dir",
     "memoize_schedule",
+    "schedule_disk",
+    "tree_disk",
 ]

@@ -1,0 +1,217 @@
+"""Optional on-disk cache sitting *under* the in-memory LRUs.
+
+The in-memory layer (:mod:`repro.cache.lru`) dies with the process, so
+every worker spawned by the sweep executor — and every fresh CI run —
+regenerates the same MSBT/BST trees and schedules from scratch.  This
+module persists those artifacts: a :class:`DiskCache` maps the existing
+``cache_token()``-normalized keys to pickle files in a user-chosen
+directory, and the schedule/tree caches consult it on every in-memory
+miss before falling back to real generation.
+
+Enablement and layering:
+
+* Disabled unless a directory is set — via the ``REPRO_CACHE_DIR``
+  environment variable (read live, so child processes inherit it), an
+  explicit :func:`configure_disk` call, or the :func:`disk_cache`
+  context manager.  An explicit configuration overrides the
+  environment until ``configure_disk(from_env=True)``.
+* :func:`repro.cache.disabled` (and ``REPRO_CACHE=0``) bypasses this
+  layer too: the disk lookups live inside the memoization wrappers,
+  which return early when caching is off.
+* Keys embed the library version, so a new release never reads stale
+  artifacts; unreadable or truncated files are dropped and counted as
+  misses, never propagated.
+* Writes go to a temp file in the target directory followed by
+  ``os.replace``, so concurrent sweep workers racing on the same key
+  each land a complete file and readers never observe a partial one.
+
+The two instances (``cache.disk.schedules``, ``cache.disk.trees``)
+register in the same registry as the LRUs: :func:`repro.cache.cache_stats`
+reports their hit/miss/store counters and :func:`repro.cache.clear_caches`
+resets the counters (the files themselves persist — deleting them is the
+owner's job, e.g. a CI cache-key rotation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro._version import __version__
+from repro.cache.lru import MISSING, _REGISTRY
+
+__all__ = [
+    "DiskCache",
+    "configure_disk",
+    "disk_cache",
+    "disk_cache_dir",
+    "schedule_disk",
+    "tree_disk",
+]
+
+#: sentinel: "no explicit override — follow REPRO_CACHE_DIR"
+_FOLLOW_ENV = object()
+
+_override: Any = _FOLLOW_ENV
+
+
+def disk_cache_dir() -> Path | None:
+    """The active disk-cache directory, or ``None`` when disabled.
+
+    An explicit :func:`configure_disk` setting wins; otherwise
+    ``REPRO_CACHE_DIR`` is consulted on every call (so tests and child
+    processes see the current environment, not an import-time snapshot).
+    """
+    if _override is not _FOLLOW_ENV:
+        return _override
+    value = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return Path(value) if value else None
+
+
+def configure_disk(
+    path: str | os.PathLike | None = None, *, from_env: bool = False
+) -> Path | None:
+    """Point the disk layer at ``path`` (``None`` disables it).
+
+    ``configure_disk(from_env=True)`` drops any explicit setting and
+    returns to following ``REPRO_CACHE_DIR``.  Returns the resulting
+    directory (or ``None``).
+    """
+    global _override
+    if from_env:
+        if path is not None:
+            raise ValueError("pass either path or from_env=True, not both")
+        _override = _FOLLOW_ENV
+    else:
+        _override = Path(path) if path is not None else None
+    return disk_cache_dir()
+
+
+@contextmanager
+def disk_cache(path: str | os.PathLike | None) -> Iterator[Path | None]:
+    """Temporarily set the disk-cache directory inside a ``with`` block."""
+    global _override
+    prev = _override
+    _override = Path(path) if path is not None else None
+    try:
+        yield disk_cache_dir()
+    finally:
+        _override = prev
+
+
+class DiskCache:
+    """A named pickle-file cache keyed by stable token reprs.
+
+    Args:
+        name: registry name (shared with the LRU registry, so it shows
+            in :func:`repro.cache.cache_stats`).
+        subdir: subdirectory of the cache root holding this cache's
+            files, keeping schedules and trees separable on disk.
+
+    Lookups return :data:`repro.cache.lru.MISSING` when the layer is
+    disabled, the key is absent, or the file is unreadable; callers
+    treat all three identically (generate and, when possible, store).
+    """
+
+    def __init__(self, name: str, subdir: str):
+        self.name = name
+        self.subdir = subdir
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+        _REGISTRY[name] = self
+
+    def _path(self, token: Any) -> Path | None:
+        base = disk_cache_dir()
+        if base is None:
+            return None
+        # repr of the normalized token tuples is deterministic across
+        # processes (ints, strings, nested tuples only); the version
+        # prefix invalidates everything on release.
+        digest = hashlib.sha256(
+            repr((__version__, self.subdir, token)).encode()
+        ).hexdigest()
+        return base / self.subdir / f"{digest}.pkl"
+
+    def fetch(self, token: Any) -> Any:
+        """The stored value for ``token``, or :data:`MISSING`."""
+        path = self._path(token)
+        if path is None:
+            return MISSING
+        try:
+            with open(path, "rb") as f:
+                value = pickle.load(f)
+        except FileNotFoundError:
+            self.misses += 1
+            return MISSING
+        except Exception:
+            # truncated/corrupt/incompatible file: drop it and regenerate
+            self.errors += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISSING
+        self.hits += 1
+        return value
+
+    def store(self, token: Any, value: Any) -> bool:
+        """Persist ``value`` under ``token`` atomically; True on success."""
+        path = self._path(token)
+        if path is None:
+            return False
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+            tmp_name = None
+        except (OSError, pickle.PicklingError):
+            self.errors += 1
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            return False
+        self.stores += 1
+        return True
+
+    def stats(self) -> dict[str, int | None]:
+        """Counters snapshot: hits, misses, stores, errors."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }
+
+    def clear(self) -> None:
+        """Reset the counters.  Files on disk are left in place."""
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskCache({self.name!r}, dir={disk_cache_dir()}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+#: persisted routing schedules (under ``memoize_schedule``'s LRUs)
+schedule_disk = DiskCache("cache.disk.schedules", "schedules")
+#: persisted canonical root-0 spanning trees (under ``cached_tree``)
+tree_disk = DiskCache("cache.disk.trees", "trees")

@@ -6,6 +6,16 @@ state (:func:`clear_caches`) — important for benchmarks that want to
 measure cold-path cost.  Caching can be disabled globally, either via
 the ``REPRO_CACHE`` environment variable (``0``/``off``/``false``) or
 temporarily with the :func:`disabled` context manager.
+
+Enablement precedence: ``REPRO_CACHE`` is read once at import time;
+after that, the most recent :func:`configure` call wins.  A later
+change to the environment variable is picked up only by an explicit
+``configure(from_env=True)`` (processes spawned by the sweep executor
+import fresh, so they see the current environment automatically).
+
+The registry also admits non-LRU members (the on-disk layer in
+:mod:`repro.cache.disk`) — anything with ``stats()`` and ``clear()``
+shows up in :func:`cache_stats` / :func:`clear_caches`.
 """
 
 from __future__ import annotations
@@ -28,7 +38,8 @@ __all__ = [
 #: sentinel distinguishing "not cached" from a cached ``None``
 MISSING = object()
 
-_REGISTRY: "OrderedDict[str, LRUCache]" = OrderedDict()
+#: every stats-bearing cache in the process (LRUs and the disk layer)
+_REGISTRY: "OrderedDict[str, Any]" = OrderedDict()
 
 
 def _env_enabled() -> bool:
@@ -113,10 +124,29 @@ def caching_enabled() -> bool:
     return _ENABLED
 
 
-def configure(enabled: bool) -> None:
-    """Turn the cache layer on or off process-wide."""
+def configure(enabled: bool | None = None, *, from_env: bool = False) -> bool:
+    """Turn the cache layer on or off process-wide.
+
+    Args:
+        enabled: the new state.  ``configure(False)`` / ``configure(True)``
+            set it explicitly.
+        from_env: re-read ``REPRO_CACHE`` and adopt its value.  The
+            variable is otherwise read only once, at import — changing
+            it afterwards has no effect until this is called.
+
+    Exactly one of the two must be given; the most recent call wins.
+    Returns the resulting state.
+    """
     global _ENABLED
-    _ENABLED = bool(enabled)
+    if from_env:
+        if enabled is not None:
+            raise ValueError("pass either enabled=... or from_env=True, not both")
+        _ENABLED = _env_enabled()
+    else:
+        if enabled is None:
+            raise ValueError("configure() needs enabled=... or from_env=True")
+        _ENABLED = bool(enabled)
+    return _ENABLED
 
 
 @contextmanager

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TypeVar
 
+from repro.cache.disk import tree_disk
 from repro.cache.lru import MISSING, LRUCache, caching_enabled
 from repro.topology.hypercube import Hypercube
 from repro.trees.base import SpanningTree
@@ -86,10 +87,13 @@ def cached_tree(cls: type[T], cube: Hypercube, root: int = 0, *extra) -> T:
     ckey = (cls.__qualname__, n, extra)
     canonical = _canonical.get(ckey)
     if canonical is MISSING:
-        canonical = _build(cls, cube, 0, extra)
-        # materialize the maps the translation reads
-        for name in _TRANSLATED:
-            getattr(canonical, name)
+        canonical = tree_disk.fetch(ckey)
+        if canonical is MISSING:
+            canonical = _build(cls, cube, 0, extra)
+            # materialize the maps the translation reads (and persists)
+            for name in _TRANSLATED:
+                getattr(canonical, name)
+            tree_disk.store(ckey, canonical)
         _canonical.put(ckey, canonical)
     if root == 0:
         inst = canonical

@@ -4,13 +4,21 @@ Usage (also available as ``python -m repro``)::
 
     python -m repro table 5                 # regenerate a paper table
     python -m repro figure 7                # regenerate a paper figure
+    python -m repro sweep all --jobs 4      # every experiment, 4 workers
     python -m repro broadcast --dim 5 --algorithm msbt -M 960 -B 60
     python -m repro scatter --dim 5 --algorithm bst -M 64 --ports all
+
+``table``, ``figure`` and ``sweep`` accept ``--jobs N`` (default:
+``REPRO_JOBS`` or serial; 0 = all cores) to fan the experiment's point
+grid out over worker processes, and ``--cache-dir DIR`` (default:
+``REPRO_CACHE_DIR``) to persist generated trees/schedules on disk
+across runs.  Output is identical at any worker count.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -34,6 +42,24 @@ _PORT_CHOICES = {
     "all": PortModel.ALL_PORT,
 }
 
+#: sweep target name -> experiment runner name in repro.experiments
+_SWEEP_TARGETS = {
+    **{f"table{i}": f"run_table{i}" for i in range(1, 7)},
+    **{f"fig{i}": f"run_fig{i}" for i in range(5, 9)},
+    "scatter": "run_scatter_packet_sweep",
+}
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes for the point grid "
+             "(default: REPRO_JOBS or 1; 0 = all cores)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist generated trees/schedules under DIR "
+             "(default: REPRO_CACHE_DIR)")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro`` CLI."""
@@ -46,9 +72,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     t = sub.add_parser("table", help="regenerate one of the paper's tables")
     t.add_argument("number", type=int, choices=range(1, 7))
+    _add_sweep_options(t)
 
     f = sub.add_parser("figure", help="regenerate one of the paper's figures")
     f.add_argument("number", type=int, choices=range(5, 9))
+    _add_sweep_options(f)
+
+    s = sub.add_parser(
+        "sweep",
+        help="run experiment sweeps (parallel workers, optional disk cache)",
+    )
+    s.add_argument(
+        "targets", nargs="+",
+        choices=sorted(_SWEEP_TARGETS) + ["all", "figures", "tables"],
+        help="experiments to run (fig5..fig8, table1..table6, scatter, "
+             "or the groups all/figures/tables)")
+    _add_sweep_options(s)
+    s.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="write per-point timing/cache telemetry for every target "
+             "to PATH as JSON")
 
     for name, algos in (("broadcast", BROADCAST_ALGORITHMS), ("scatter", SCATTER_ALGORITHMS)):
         c = sub.add_parser(name, help=f"simulate a {name} and report costs")
@@ -85,6 +128,41 @@ def _parse_dead_link(spec: str) -> tuple[int, int]:
         raise SystemExit(f"--dead-link expects A:B with integer nodes, got {spec!r}")
 
 
+def _expand_sweep_targets(targets: Sequence[str]) -> list[str]:
+    """Resolve target groups, dedupe, keep a deterministic order."""
+    expanded: list[str] = []
+    for target in targets:
+        if target == "all":
+            expanded.extend(sorted(_SWEEP_TARGETS))
+        elif target == "figures":
+            expanded.extend(t for t in sorted(_SWEEP_TARGETS) if t.startswith("fig"))
+        elif target == "tables":
+            expanded.extend(t for t in sorted(_SWEEP_TARGETS) if t.startswith("table"))
+        else:
+            expanded.append(target)
+    seen: set[str] = set()
+    return [t for t in expanded if not (t in seen or seen.add(t))]
+
+
+def _run_sweep_command(args: argparse.Namespace) -> int:
+    from repro import experiments
+
+    all_stats: dict[str, dict] = {}
+    for target in _expand_sweep_targets(args.targets):
+        runner = getattr(experiments, _SWEEP_TARGETS[target])
+        report = runner(jobs=args.jobs, cache_dir=args.cache_dir)
+        print(report.render())
+        if report.sweep is not None:
+            print(f"[{target}] {report.sweep.summary()}")
+            all_stats[target] = report.sweep.to_dict()
+        print()
+    if args.stats_json:
+        with open(args.stats_json, "w") as f:
+            json.dump(all_stats, f, indent=2)
+        print(f"sweep telemetry written to {args.stats_json}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -93,15 +171,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro import experiments
 
         runner = getattr(experiments, f"run_table{args.number}")
-        print(runner().render())
+        print(runner(jobs=args.jobs, cache_dir=args.cache_dir).render())
         return 0
 
     if args.command == "figure":
         from repro import experiments
 
         runner = getattr(experiments, f"run_fig{args.number}")
-        print(runner().render())
+        print(runner(jobs=args.jobs, cache_dir=args.cache_dir).render())
         return 0
+
+    if args.command == "sweep":
+        return _run_sweep_command(args)
 
     cube = Hypercube(args.dim)
     port_model = _PORT_CHOICES[args.ports]

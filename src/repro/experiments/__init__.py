@@ -1,7 +1,20 @@
-"""Experiment harness: one function per table/figure of the paper."""
+"""Experiment harness: one function per table/figure of the paper.
+
+Every runner takes ``jobs=``/``cache_dir=`` and executes its point grid
+through :mod:`repro.experiments.parallel`; serial and parallel output
+are identical (see that module for the determinism contract).
+"""
 
 from repro.experiments.export import to_csv, to_json, write_report
 from repro.experiments.figures import run_fig5, run_fig6, run_fig7, run_fig8
+from repro.experiments.parallel import (
+    PointStats,
+    SweepResult,
+    SweepStats,
+    resolve_jobs,
+    run_sweep,
+    sweep_grid,
+)
 from repro.experiments.scatter_sweep import run_scatter_packet_sweep
 from repro.experiments.harness import TableReport, format_table, relative_error
 from repro.experiments.tables import (
@@ -15,6 +28,12 @@ from repro.experiments.tables import (
 )
 
 __all__ = [
+    "PointStats",
+    "SweepResult",
+    "SweepStats",
+    "resolve_jobs",
+    "run_sweep",
+    "sweep_grid",
     "to_csv",
     "to_json",
     "write_report",

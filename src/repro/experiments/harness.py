@@ -52,11 +52,16 @@ class TableReport:
         name: experiment id, e.g. ``"table1"``.
         headers: column names.
         rows: the data rows.
+        sweep: execution telemetry
+            (:class:`~repro.experiments.parallel.SweepStats`) attached
+            by the sweep-driven experiments; never part of the rendered
+            output, so serial and parallel renderings stay identical.
     """
 
     name: str
     headers: list[str]
     rows: list[list[object]] = field(default_factory=list)
+    sweep: object | None = field(default=None, repr=False, compare=False)
 
     def add(self, *row: object) -> None:
         """Append one row."""

@@ -1,0 +1,234 @@
+"""The on-disk cache layer: layering, atomicity, versioning, recovery."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import cache
+from repro.cache import (
+    MISSING,
+    cached_tree,
+    clear_caches,
+    configure_disk,
+    disabled,
+    disk_cache,
+    disk_cache_dir,
+    schedule_disk,
+    tree_disk,
+)
+from repro.cache import disk as disk_mod
+from repro.routing import msbt_broadcast_schedule, sbt_broadcast_schedule
+from repro.sim.ports import PortModel
+from repro.topology import Hypercube
+from repro.trees.tcbt import TwoRootedCompleteBinaryTree
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    """Fresh counters and a disabled disk layer around every test."""
+    clear_caches()
+    prev = disk_mod._override
+    yield
+    disk_mod._override = prev
+    clear_caches()
+
+
+def _generate(n=4):
+    return msbt_broadcast_schedule(Hypercube(n), 0, 64, 16, PortModel.ONE_PORT_FULL)
+
+
+class TestConfiguration:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        configure_disk(from_env=True)
+        assert disk_cache_dir() is None
+
+    def test_env_var_read_live(self, monkeypatch, tmp_path):
+        configure_disk(from_env=True)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert disk_cache_dir() == tmp_path
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert disk_cache_dir() is None
+
+    def test_explicit_overrides_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert configure_disk(tmp_path / "explicit") == tmp_path / "explicit"
+        assert disk_cache_dir() == tmp_path / "explicit"
+        configure_disk(None)
+        assert disk_cache_dir() is None  # explicit disable beats env
+        configure_disk(from_env=True)
+        assert disk_cache_dir() == tmp_path / "env"
+
+    def test_both_args_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            configure_disk(tmp_path, from_env=True)
+
+    def test_context_manager_restores(self, tmp_path):
+        configure_disk(None)
+        with disk_cache(tmp_path) as active:
+            assert active == tmp_path
+        assert disk_cache_dir() is None
+
+
+class TestScheduleRoundtrip:
+    def test_warm_process_reads_schedules_from_disk(self, tmp_path):
+        with disk_cache(tmp_path):
+            first = _generate()
+            assert schedule_disk.stores == 1
+            assert schedule_disk.misses == 1
+            clear_caches()  # simulate a cold process: LRUs empty, disk warm
+            second = _generate()
+            assert schedule_disk.hits == 1
+            assert schedule_disk.misses == 0
+        assert first.rounds == second.rounds
+        assert first.chunk_sizes == second.chunk_sizes
+        assert first.algorithm == second.algorithm
+        assert first.meta == second.meta
+
+    def test_disk_hit_feeds_lru(self, tmp_path):
+        with disk_cache(tmp_path):
+            _generate()
+            clear_caches()
+            _generate()  # disk hit, promoted into the LRU
+            _generate()  # now a pure LRU hit
+            assert schedule_disk.hits == 1
+            lru = cache.cache_stats()["schedules.msbt_broadcast_schedule"]
+            assert lru["hits"] == 1
+
+    def test_distinct_keys_get_distinct_files(self, tmp_path):
+        with disk_cache(tmp_path):
+            sbt_broadcast_schedule(Hypercube(3), 0, 8, 2, PortModel.ONE_PORT_FULL)
+            sbt_broadcast_schedule(Hypercube(3), 0, 8, 4, PortModel.ONE_PORT_FULL)
+            files = list((tmp_path / "schedules").glob("*.pkl"))
+            assert len(files) == 2
+
+    def test_disabled_context_bypasses_disk(self, tmp_path):
+        with disk_cache(tmp_path):
+            with disabled():
+                _generate()
+            assert schedule_disk.stores == 0
+            assert schedule_disk.misses == 0
+
+    def test_no_dir_means_no_io_and_no_counters(self):
+        configure_disk(None)
+        _generate()
+        assert schedule_disk.stats() == {
+            "hits": 0, "misses": 0, "stores": 0, "errors": 0,
+        }
+
+
+class TestRobustness:
+    def test_corrupt_file_is_dropped_and_regenerated(self, tmp_path):
+        with disk_cache(tmp_path):
+            sched = _generate()
+            (path,) = (tmp_path / "schedules").glob("*.pkl")
+            path.write_bytes(b"not a pickle")
+            clear_caches()
+            again = _generate()
+            assert schedule_disk.errors == 1
+            assert not path.exists() or path.read_bytes() != b"not a pickle"
+        assert sched.rounds == again.rounds
+
+    def test_truncated_pickle_counts_as_miss(self, tmp_path):
+        with disk_cache(tmp_path):
+            _generate()
+            (path,) = (tmp_path / "schedules").glob("*.pkl")
+            path.write_bytes(path.read_bytes()[:10])
+            clear_caches()
+            _generate()
+            assert schedule_disk.hits == 0
+            assert schedule_disk.misses == 1
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        with disk_cache(tmp_path):
+            _generate()
+            cached_tree(TwoRootedCompleteBinaryTree, Hypercube(3), 0)
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_unwritable_dir_degrades_gracefully(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        with disk_cache(blocked):
+            sched = _generate()  # must not raise
+        assert sched.num_transfers > 0
+        assert schedule_disk.errors >= 1
+
+    def test_version_partitions_the_keyspace(self, tmp_path, monkeypatch):
+        with disk_cache(tmp_path):
+            _generate()
+            assert schedule_disk.hits == 0
+            clear_caches()
+            monkeypatch.setattr(disk_mod, "__version__", "999.0.0-test")
+            _generate()
+            # the old artifact is invisible under the new version
+            assert schedule_disk.hits == 0
+            assert schedule_disk.misses == 1
+
+
+class TestTreeRoundtrip:
+    def test_canonical_tree_served_from_disk(self, tmp_path):
+        cube = Hypercube(4)
+        with disk_cache(tmp_path):
+            built = cached_tree(TwoRootedCompleteBinaryTree, cube, 0)
+            assert tree_disk.stores == 1
+            clear_caches()
+            loaded = cached_tree(TwoRootedCompleteBinaryTree, cube, 0)
+            assert tree_disk.hits == 1
+        assert loaded.parents_map == built.parents_map
+        assert loaded.children_map == built.children_map
+
+    def test_translation_from_disk_canonical(self, tmp_path):
+        cube = Hypercube(4)
+        fresh = TwoRootedCompleteBinaryTree(cube, 5)
+        with disk_cache(tmp_path):
+            cached_tree(TwoRootedCompleteBinaryTree, cube, 0)
+            clear_caches()
+            translated = cached_tree(TwoRootedCompleteBinaryTree, cube, 5)
+        assert translated.parents_map == fresh.parents_map
+        assert translated.levels == fresh.levels
+
+    def test_pickle_roundtrip_preserves_token(self, tmp_path):
+        cube = Hypercube(3)
+        tree = TwoRootedCompleteBinaryTree(cube, 0)
+        clone = pickle.loads(pickle.dumps(tree))
+        assert clone.cache_token() == tree.cache_token()
+
+
+class TestStatsIntegration:
+    def test_disk_caches_report_in_cache_stats(self):
+        stats = cache.cache_stats()
+        assert "cache.disk.schedules" in stats
+        assert "cache.disk.trees" in stats
+        assert set(stats["cache.disk.schedules"]) == {
+            "hits", "misses", "stores", "errors",
+        }
+
+    def test_clear_caches_resets_counters_but_keeps_files(self, tmp_path):
+        with disk_cache(tmp_path):
+            _generate()
+            files_before = list(tmp_path.rglob("*.pkl"))
+            clear_caches()
+            assert schedule_disk.stores == 0
+            assert list(tmp_path.rglob("*.pkl")) == files_before
+            _generate()
+            assert schedule_disk.hits == 1  # files survived the clear
+
+
+class TestWarmFigureRun:
+    def test_warm_run_regenerates_nothing(self, tmp_path):
+        from repro.experiments import run_fig6
+
+        with disk_cache(tmp_path):
+            cold = run_fig6(dims=(2, 3), message_bytes=2048, jobs=1)
+            clear_caches()
+            warm = run_fig6(dims=(2, 3), message_bytes=2048, jobs=1)
+        # byte-identical results...
+        assert cold.render() == warm.render()
+        # ...with every schedule served from disk: zero generator calls
+        assert warm.sweep.disk_misses == 0
+        assert warm.sweep.disk_hits > 0
+        assert warm.sweep.disk_hits == warm.sweep.lru_misses
+        assert cache.cache_stats()["cache.disk.schedules"]["misses"] == 0

@@ -94,3 +94,47 @@ def test_disabled_restores_on_exception():
         with disabled():
             raise RuntimeError("boom")
     assert caching_enabled()
+
+
+class TestConfigureFromEnv:
+    """REPRO_CACHE is snapshotted at import; from_env=True re-reads it."""
+
+    @pytest.fixture(autouse=True)
+    def _restore(self):
+        yield
+        configure(enabled=True)
+
+    def test_env_change_alone_has_no_effect(self, monkeypatch):
+        assert caching_enabled()
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert caching_enabled()  # import-time snapshot still rules
+
+    def test_from_env_adopts_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert configure(from_env=True) is False
+        assert not caching_enabled()
+
+    def test_from_env_adopts_enabled(self, monkeypatch):
+        configure(enabled=False)
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert configure(from_env=True) is True
+        assert caching_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", " FALSE "])
+    def test_disabling_spellings(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_CACHE", value)
+        assert configure(from_env=True) is False
+
+    def test_explicit_call_wins_after_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        configure(from_env=True)
+        assert configure(enabled=True) is True  # most recent call wins
+        assert caching_enabled()
+
+    def test_both_args_rejected(self):
+        with pytest.raises(ValueError):
+            configure(enabled=True, from_env=True)
+
+    def test_neither_arg_rejected(self):
+        with pytest.raises(ValueError):
+            configure()

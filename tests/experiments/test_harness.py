@@ -44,3 +44,27 @@ class TestTableReport:
     def test_empty_report_renders(self):
         r = TableReport("empty", ["a"])
         assert "empty" in r.render()
+
+    def test_max_relative_error_empty_rows(self):
+        r = TableReport("empty", ["m", "p"])
+        assert r.max_relative_error(0, 1) == 0.0
+
+    def test_max_relative_error_zero_predicted(self):
+        # a zero prediction must not divide by zero: the denominator
+        # floors at 1, so the error equals the measured value
+        r = TableReport("zeros", ["m", "p"])
+        r.add(3.0, 0.0)
+        r.add(0.0, 0.0)
+        assert r.max_relative_error(0, 1) == 3.0
+
+    def test_max_relative_error_all_zero_rows(self):
+        r = TableReport("allzero", ["m", "p"])
+        r.add(0.0, 0.0)
+        assert r.max_relative_error(0, 1) == 0.0
+
+    def test_sweep_attachment_not_rendered_or_compared(self):
+        a = TableReport("t", ["x"], rows=[[1]])
+        b = TableReport("t", ["x"], rows=[[1]], sweep=object())
+        assert a == b
+        assert a.render() == b.render()
+        assert "sweep" not in repr(b)

@@ -106,6 +106,57 @@ class TestCommands:
         from repro.experiments.harness import TableReport
 
         stub = TableReport("Figure 7 — stub", ["x"], [[1]])
-        monkeypatch.setattr(experiments, "run_fig7", lambda: stub)
+        monkeypatch.setattr(
+            experiments, "run_fig7", lambda jobs=None, cache_dir=None: stub
+        )
         assert main(["figure", "7"]) == 0
         assert "Figure 7 — stub" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "fig9"])
+
+    def test_target_group_expansion(self):
+        from repro.cli import _expand_sweep_targets
+
+        figs = _expand_sweep_targets(["figures"])
+        assert figs == ["fig5", "fig6", "fig7", "fig8"]
+        tables = _expand_sweep_targets(["tables"])
+        assert tables == [f"table{i}" for i in range(1, 7)]
+        everything = _expand_sweep_targets(["all"])
+        assert set(everything) == set(figs) | set(tables) | {"scatter"}
+        # dedupe keeps first occurrence order
+        assert _expand_sweep_targets(["fig6", "figures"]) == [
+            "fig6", "fig5", "fig7", "fig8",
+        ]
+
+    def test_sweep_runs_and_writes_stats(self, capsys, tmp_path):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        code = main([
+            "sweep", "table1", "--jobs", "1",
+            "--stats-json", str(stats_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "propagation delays" in out
+        assert "[table1]" in out
+        stats = json.loads(stats_path.read_text())
+        assert set(stats) == {"table1"}
+        assert stats["table1"]["executor"] == "serial"
+        assert stats["table1"]["num_points"] >= 1
+        assert all("wall_s" in p for p in stats["table1"]["points"])
+
+    def test_sweep_with_cache_dir_and_parallel(self, capsys, tmp_path):
+        code = main([
+            "sweep", "table6", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[table6]" in out
+        assert "process-pool" in out
+        assert list((tmp_path / "cache").rglob("*.pkl"))  # disk cache populated
