@@ -10,6 +10,9 @@ the repo root:
 * ``--suite sweep``: ``benchmarks/bench_sweep.py`` vs
   ``BENCH_SWEEP.json`` — serial/parallel full-figure sweeps and the
   disk-cache cold/warm paths.
+* ``--suite runtime``: ``benchmarks/bench_runtime.py`` vs
+  ``BENCH_RUNTIME.json`` — the actor runtime (collective execution,
+  fault repair, one differential runtime-vs-engine check).
 
 * ``python scripts/bench_compare.py`` — fail (exit 1) when any median
   exceeds its baseline by more than ``--threshold`` (default 50%) *and*
@@ -41,6 +44,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SUITES = {
     "engine": ("benchmarks/bench_regression.py", "BENCH_ENGINE.json"),
     "sweep": ("benchmarks/bench_sweep.py", "BENCH_SWEEP.json"),
+    "runtime": ("benchmarks/bench_runtime.py", "BENCH_RUNTIME.json"),
 }
 
 

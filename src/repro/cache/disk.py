@@ -28,8 +28,14 @@ Enablement and layering:
 The two instances (``cache.disk.schedules``, ``cache.disk.trees``)
 register in the same registry as the LRUs: :func:`repro.cache.cache_stats`
 reports their hit/miss/store counters and :func:`repro.cache.clear_caches`
-resets the counters (the files themselves persist — deleting them is the
-owner's job, e.g. a CI cache-key rotation).
+resets the counters (the files themselves persist across that sweep-wide
+reset; purge a cache's files explicitly with ``clear(files=True)``).
+
+Unbounded growth is capped by ``max_entries`` (per instance, or the
+``REPRO_CACHE_MAX_ENTRIES`` environment variable for all instances,
+read live): each successful store evicts the least recently *used*
+files beyond the bound — fetches refresh a file's mtime, so hot
+artifacts survive while stale ones age out.
 """
 
 from __future__ import annotations
@@ -112,20 +118,55 @@ class DiskCache:
             in :func:`repro.cache.cache_stats`).
         subdir: subdirectory of the cache root holding this cache's
             files, keeping schedules and trees separable on disk.
+        max_entries: keep at most this many files in the subdirectory,
+            evicting the least recently used after each store.  ``None``
+            (the default) falls back to ``REPRO_CACHE_MAX_ENTRIES``
+            when set, else unbounded.
 
     Lookups return :data:`repro.cache.lru.MISSING` when the layer is
     disabled, the key is absent, or the file is unreadable; callers
     treat all three identically (generate and, when possible, store).
     """
 
-    def __init__(self, name: str, subdir: str):
+    def __init__(self, name: str, subdir: str, max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
         self.name = name
         self.subdir = subdir
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.errors = 0
+        self.evictions = 0
         _REGISTRY[name] = self
+
+    def _effective_max_entries(self) -> int | None:
+        if self.max_entries is not None:
+            return self.max_entries
+        value = os.environ.get("REPRO_CACHE_MAX_ENTRIES", "").strip()
+        if not value:
+            return None
+        try:
+            bound = int(value)
+        except ValueError:
+            return None
+        return bound if bound >= 1 else None
+
+    def _dir(self) -> Path | None:
+        base = disk_cache_dir()
+        return None if base is None else base / self.subdir
+
+    def _entries(self) -> list[Path]:
+        d = self._dir()
+        if d is None:
+            return []
+        try:
+            return [p for p in d.iterdir() if p.suffix == ".pkl"]
+        except OSError:
+            return []
 
     def _path(self, token: Any) -> Path | None:
         base = disk_cache_dir()
@@ -160,6 +201,10 @@ class DiskCache:
                 pass
             return MISSING
         self.hits += 1
+        try:
+            os.utime(path)  # refresh recency for LRU eviction
+        except OSError:
+            pass
         return value
 
     def store(self, token: Any, value: Any) -> bool:
@@ -186,23 +231,61 @@ class DiskCache:
                     pass
             return False
         self.stores += 1
+        self._evict()
         return True
 
+    def _evict(self) -> None:
+        """Drop least-recently-used files beyond ``max_entries``."""
+        bound = self._effective_max_entries()
+        if bound is None:
+            return
+        entries = self._entries()
+        if len(entries) <= bound:
+            return
+
+        def mtime(p: Path) -> float:
+            try:
+                return p.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        entries.sort(key=lambda p: (mtime(p), p.name))
+        for p in entries[: len(entries) - bound]:
+            try:
+                p.unlink()
+                self.evictions += 1
+            except OSError:
+                pass
+
     def stats(self) -> dict[str, int | None]:
-        """Counters snapshot: hits, misses, stores, errors."""
+        """Counters snapshot: hits, misses, stores, errors, evictions."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "errors": self.errors,
+            "evictions": self.evictions,
         }
 
-    def clear(self) -> None:
-        """Reset the counters.  Files on disk are left in place."""
+    def clear(self, files: bool = False) -> None:
+        """Reset the counters; with ``files=True`` also delete this
+        cache's stored files.
+
+        The registry-wide :func:`repro.cache.clear_caches` calls this
+        without arguments, so a sweep-scoped reset never destroys the
+        persistent store — purging the files is an explicit act.
+        """
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.errors = 0
+        self.evictions = 0
+        if files:
+            for p in self._entries():
+                try:
+                    p.unlink()
+                except OSError:
+                    pass
 
     def __repr__(self) -> str:
         return (

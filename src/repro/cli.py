@@ -7,6 +7,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro sweep all --jobs 4      # every experiment, 4 workers
     python -m repro broadcast --dim 5 --algorithm msbt -M 960 -B 60
     python -m repro scatter --dim 5 --algorithm bst -M 64 --ports all
+    python -m repro broadcast --dim 4 --backend runtime \
+        --dead-link 0:1 --on-fault repair --trace-chrome trace.json
 
 ``table``, ``figure`` and ``sweep`` accept ``--jobs N`` (default:
 ``REPRO_JOBS`` or serial; 0 = all cores) to fan the experiment's point
@@ -113,10 +115,23 @@ def build_parser() -> argparse.ArgumentParser:
         c.add_argument("--dead-node", action="append", default=[], type=int,
                        metavar="V", dest="dead_nodes",
                        help="fail node V entirely (repeatable)")
-        c.add_argument("--on-fault", choices=("raise", "report"),
+        c.add_argument("--on-fault", choices=("raise", "report", "repair"),
                        default="raise",
                        help="when faults disconnect nodes from the source: "
-                            "raise an error, or report them and serve the rest")
+                            "raise an error, report them and serve the rest, "
+                            "or (runtime backend only) time out and repair "
+                            "over the survivor tree")
+        c.add_argument("--backend", choices=("sim", "runtime"), default="sim",
+                       help="sim: replay the central schedule on the engines; "
+                            "runtime: execute on the actor-based "
+                            "message-passing runtime")
+        c.add_argument("--trace-jsonl", default=None, metavar="PATH",
+                       help="write the runtime's per-packet trace to PATH "
+                            "as JSON lines (requires --backend runtime)")
+        c.add_argument("--trace-chrome", default=None, metavar="PATH",
+                       help="write the runtime's per-packet trace to PATH "
+                            "in Chrome trace_event format "
+                            "(requires --backend runtime)")
     return parser
 
 
@@ -193,6 +208,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             dead_links=[_parse_dead_link(s) for s in args.dead_links],
             dead_nodes=args.dead_nodes,
         )
+    want_trace = bool(args.trace_jsonl or args.trace_chrome)
+    if args.backend != "runtime":
+        if args.on_fault == "repair":
+            print("--on-fault repair requires --backend runtime",
+                  file=sys.stderr)
+            return 2
+        if want_trace:
+            print("--trace-jsonl/--trace-chrome require --backend runtime",
+                  file=sys.stderr)
+            return 2
     op = broadcast if args.command == "broadcast" else scatter
     try:
         result = op(
@@ -206,6 +231,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             run_event_sim=args.ipsc,
             faults=faults,
             on_fault=args.on_fault,
+            backend=args.backend,
+            trace=want_trace,
         )
     except FaultError as exc:
         print(f"fault: {exc}", file=sys.stderr)
@@ -213,14 +240,31 @@ def main(argv: Sequence[str] | None = None) -> int:
     profile = profile_schedule(cube, result.schedule, source=args.source)
     print(f"{args.command} on {cube} via {result.algorithm}")
     print(f"  port model        : {port_model.describe()}")
+    print(f"  backend           : {args.backend}")
     if faults is not None:
         print(f"  faults            : {len(faults.dead_links)} links, "
               f"{len(faults.dead_nodes)} nodes dead")
         if result.undelivered_nodes:
             print(f"  unreachable nodes : {sorted(result.undelivered_nodes)}")
     print(f"  routing steps     : {result.cycles}")
-    print(f"  simulated time    : {result.time:.6g}"
-          + (" s (iPSC/d7, event-driven)" if args.ipsc else " (lock-step units)"))
+    if args.backend == "runtime":
+        unit = " s (iPSC/d7)" if args.ipsc else " (unit-cost)"
+        print(f"  runtime time      : {result.async_.time:.6g}{unit}")
+        repair_rounds = getattr(result.async_, "repair_rounds", 0)
+        if repair_rounds:
+            print(f"  repair rounds     : {repair_rounds}")
+        rtrace = getattr(result.async_, "trace", None)
+        if rtrace is not None:
+            if args.trace_jsonl:
+                path = rtrace.write_jsonl(args.trace_jsonl)
+                print(f"  trace (jsonl)     : {path} ({len(rtrace)} events)")
+            if args.trace_chrome:
+                path = rtrace.write_chrome(args.trace_chrome)
+                print(f"  trace (chrome)    : {path} ({len(rtrace)} events)")
+    else:
+        print(f"  simulated time    : {result.time:.6g}"
+              + (" s (iPSC/d7, event-driven)" if args.ipsc
+                 else " (lock-step units)"))
     print(f"  packets sent      : {profile.transfers}")
     print(f"  busiest edge      : {result.link_stats.max_edge_elems()} elements")
     print(f"  edge utilization  : {profile.edge_utilization:.1%}")

@@ -1,6 +1,7 @@
 """High-level simulated collective operations (the public API)."""
 
 from repro.collectives.api import (
+    BACKENDS,
     allgather,
     allreduce,
     alltoall_personalized,
@@ -12,6 +13,7 @@ from repro.collectives.api import (
 from repro.collectives.result import CollectiveResult
 
 __all__ = [
+    "BACKENDS",
     "allgather",
     "allreduce",
     "alltoall_personalized",

@@ -39,8 +39,13 @@ from repro.routing import (
     tree_scatter_schedule,
 )
 from repro.routing.common import MSG
+from repro.runtime.actors import run_collective
+from repro.runtime.rules import (
+    RUNTIME_BROADCAST_ALGORITHMS,
+    RUNTIME_SCATTER_ALGORITHMS,
+)
 from repro.sim.engine import run_async
-from repro.sim.faults import FaultError, FaultPlan
+from repro.sim.faults import DegradedResult, FaultError, FaultPlan
 from repro.sim.machine import MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule
@@ -62,6 +67,80 @@ __all__ = [
 
 BROADCAST_ALGORITHMS = ("sbt", "msbt", "tcbt", "hp", "hp-centered", "hp-dual")
 SCATTER_ALGORITHMS = ("sbt", "bst", "tcbt")
+
+#: execution backends: ``"sim"`` replays a centrally generated schedule
+#: through the engines; ``"runtime"`` executes the operation on the
+#: actor-based message-passing runtime (:mod:`repro.runtime`), where
+#: every node derives its sends locally.
+BACKENDS = ("sim", "runtime")
+
+
+def _runtime_collective(
+    cube: Hypercube,
+    op: str,
+    algorithm: str,
+    source: int,
+    message_elems: int,
+    packet_elems: int,
+    port_model: PortModel,
+    machine: MachineParams | None,
+    faults: FaultPlan | None,
+    on_fault: str,
+    subtree_order: str = "depth_first",
+    trace: bool = False,
+) -> CollectiveResult:
+    """Execute on the actor runtime, packaged as a CollectiveResult.
+
+    The central schedule is still generated — it documents the
+    operation and drives the lock-step validation — but the *timed*
+    execution (``result.async_``, hence ``result.time``) comes from
+    :func:`repro.runtime.run_collective`, and under faults the runtime
+    handles degradation itself (including the ``"repair"`` mode the
+    schedule replay does not offer).
+    """
+    allowed = (
+        RUNTIME_BROADCAST_ALGORITHMS
+        if op == "broadcast"
+        else RUNTIME_SCATTER_ALGORITHMS
+    )
+    if algorithm not in allowed:
+        raise ValueError(
+            f"the runtime backend implements {op} for {allowed}, "
+            f"got {algorithm!r}"
+        )
+    rt = run_collective(
+        cube, op, algorithm, source, message_elems, packet_elems,
+        port_model, machine=machine, subtree_order=subtree_order,
+        faults=faults, on_fault=on_fault, trace=trace,
+    )
+    if op == "broadcast":
+        sched = (
+            sbt_broadcast_schedule
+            if algorithm == "sbt"
+            else msbt_broadcast_schedule
+        )(cube, source, message_elems, packet_elems, port_model)
+    else:
+        sched = _scatter_schedule(
+            cube, source, algorithm, message_elems, packet_elems,
+            port_model, subtree_order,
+        )
+    initial = {source: set(sched.chunk_sizes)}
+    sync = run_synchronous(
+        cube, sched, port_model, initial, machine,
+        faults=faults, on_fault="report" if faults else "raise",
+    )
+    undelivered = (
+        frozenset(rt.undelivered_nodes)
+        if isinstance(rt, DegradedResult)
+        else frozenset()
+    )
+    return CollectiveResult(
+        schedule=sched,
+        sync=sync,
+        async_=rt,
+        faults=faults,
+        undelivered_nodes=undelivered,
+    )
 
 
 def _run(
@@ -107,6 +186,8 @@ def broadcast(
     run_event_sim: bool = False,
     faults: FaultPlan | None = None,
     on_fault: str = "raise",
+    backend: str = "sim",
+    trace: bool = False,
 ) -> CollectiveResult:
     """Broadcast ``message_elems`` from ``source`` to every other node.
 
@@ -131,9 +212,25 @@ def broadcast(
             :class:`~repro.sim.faults.FaultError` when the faults
             disconnect some node from the source; ``"report"`` serves
             the source's surviving component and lists the rest in
-            ``result.undelivered_nodes``.
+            ``result.undelivered_nodes``.  The runtime backend also
+            accepts ``"repair"`` (timeout-driven survivor-tree
+            recovery).
+        backend: ``"sim"`` (default) replays the central schedule on
+            the engines; ``"runtime"`` executes on the actor runtime
+            (``"sbt"``/``"msbt"`` only) — the runtime result becomes
+            ``result.async_``, so ``run_event_sim`` is implied.
+        trace: record a per-packet :class:`repro.runtime.RuntimeTrace`
+            on ``result.async_.trace`` (runtime backend only).
     """
     packet_elems = message_elems if packet_elems is None else packet_elems
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend == "runtime":
+        return _runtime_collective(
+            cube, "broadcast", algorithm, source, message_elems,
+            packet_elems, port_model, machine, faults, on_fault,
+            trace=trace,
+        )
     if faults:
         return _broadcast_with_faults(
             cube, source, algorithm, message_elems, packet_elems,
@@ -234,6 +331,8 @@ def scatter(
     subtree_order: str = "depth_first",
     faults: FaultPlan | None = None,
     on_fault: str = "raise",
+    backend: str = "sim",
+    trace: bool = False,
 ) -> CollectiveResult:
     """Send a distinct ``message_elems`` message from ``source`` to each node.
 
@@ -254,9 +353,23 @@ def scatter(
             :class:`~repro.sim.faults.FaultError` on a disconnected
             survivor cube; ``"report"`` scatters to the source's
             component and lists the rest in
-            ``result.undelivered_nodes``.
+            ``result.undelivered_nodes``.  The runtime backend also
+            accepts ``"repair"``.
+        backend: ``"sim"`` (default) replays the central schedule on
+            the engines; ``"runtime"`` executes on the actor runtime
+            (``"sbt"``/``"bst"`` only).
+        trace: record a per-packet :class:`repro.runtime.RuntimeTrace`
+            on ``result.async_.trace`` (runtime backend only).
     """
     packet_elems = message_elems if packet_elems is None else packet_elems
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend == "runtime":
+        return _runtime_collective(
+            cube, "scatter", algorithm, source, message_elems,
+            packet_elems, port_model, machine, faults, on_fault,
+            subtree_order=subtree_order, trace=trace,
+        )
     if faults:
         if algorithm not in SCATTER_ALGORITHMS:
             raise ValueError(

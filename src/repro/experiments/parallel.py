@@ -47,11 +47,13 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.cache import cache_stats
 from repro.cache.disk import configure_disk, disk_cache
+from repro.sim.trace import LinkStats
 
 __all__ = [
     "PointStats",
     "SweepResult",
     "SweepStats",
+    "merged_link_stats",
     "resolve_jobs",
     "run_sweep",
     "sweep_grid",
@@ -210,12 +212,36 @@ class SweepStats:
         )
 
 
+def merged_link_stats(values: Sequence[Any]) -> LinkStats:
+    """Fleet-wide link traffic folded from per-point results.
+
+    Accepts any mix of :class:`~repro.sim.trace.LinkStats` instances
+    and objects exposing a ``link_stats`` attribute (collective and
+    runtime results); everything else is skipped.  Workers are
+    process-local, so this merge is the only way their per-point link
+    counters combine into one cross-worker traffic picture.
+    """
+    merged = LinkStats()
+    for value in values:
+        stats = value if isinstance(value, LinkStats) else getattr(
+            value, "link_stats", None
+        )
+        if isinstance(stats, LinkStats):
+            merged.merge(stats)
+    return merged
+
+
 @dataclass
 class SweepResult:
     """Ordered point results plus execution telemetry."""
 
     values: list[Any]
     stats: SweepStats
+
+    def merged_link_stats(self) -> LinkStats:
+        """Link traffic merged across every point result (see
+        :func:`merged_link_stats`)."""
+        return merged_link_stats(self.values)
 
 
 def _cache_totals() -> tuple[int, int, int, int]:

@@ -10,9 +10,22 @@ order, under the active port model — earliest-fit, one pass per round.
 List order is the priority: generators encode the paper's transmission
 orders (descending relative address, cyclic subtree round-robin,
 depth-first within subtree, ...) simply by ordering the transfer list.
+
+Implementation note: the packer used to rescan the whole pending list
+every round and first-fit used to probe every bin per chunk, both
+quadratic — prohibitive for the fine-packet grids the runtime
+differential harness sweeps (``B = 1`` turns a one-port BST scatter at
+``n = 8`` into ~10^6 transfers).  The versions here are
+dependency-indexed (a ``(node, chunk) -> waiting transfers`` map plus
+ready/eligible heaps) and skip saturated bins, and they are
+*bit-identical* to the originals, which are preserved in
+:mod:`repro.routing._scheduler_reference` and asserted equivalent by
+``tests/routing/test_scheduler_equivalence.py``.
 """
 
 from __future__ import annotations
+
+from heapq import heappop, heappush
 
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer
@@ -47,62 +60,88 @@ def list_schedule(
         for c in chunks:
             avail[(node, c)] = 0
 
-    remaining = list(range(len(transfers)))
+    n_transfers = len(transfers)
     rounds: list[tuple[Transfer, ...]] = []
-    r = 0
-    guard = 0
-    max_rounds = 4 * (len(transfers) + 1) + 16  # generous upper bound
 
-    while remaining:
+    # Dependency index.  Every pending transfer is in exactly one of:
+    # *waiting* (some payload chunk has no availability round yet; its
+    # index sits in `waiters` under each missing (src, chunk) key),
+    # *future* (payload fully known, ready round > r), or *eligible*
+    # (ready, competing for capacity in input order).  Availability
+    # rounds are monotone — a chunk's first delivery is its earliest,
+    # later duplicates never improve it — so a transfer's ready round
+    # is fixed the moment its last chunk materializes.
+    waiters: dict[tuple[int, Chunk], list[int]] = {}
+    missing = [0] * n_transfers
+    future: list[tuple[int, int]] = []  # (ready round, input index)
+    eligible: list[int] = []  # input indices
+    done = [False] * n_transfers
+    for idx, t in enumerate(transfers):
+        m = 0
+        ready = 0
+        for c in t.chunks:
+            a = avail.get((t.src, c))
+            if a is None:
+                m += 1
+                waiters.setdefault((t.src, c), []).append(idx)
+            elif a > ready:
+                ready = a
+        missing[idx] = m
+        if m == 0:
+            heappush(future, (ready, idx))
+
+    placed = 0
+    r = 0
+    while placed < n_transfers:
+        while future and future[0][0] <= r:
+            heappush(eligible, heappop(future)[1])
+        if not eligible:
+            if future:
+                r = future[0][0]  # idle gap: nothing deliverable yet
+                continue
+            stuck = [transfers[i] for i in range(n_transfers) if not done[i]][:4]
+            raise RuntimeError(
+                f"list scheduling deadlocked with {n_transfers - placed} "
+                f"transfers left, e.g. {stuck}"
+            )
+
         send_busy: set[int] = set()
         recv_busy: set[int] = set()
         edge_busy: set[tuple[int, int]] = set()
         this_round: list[Transfer] = []
-        next_remaining: list[int] = []
-        min_future = None
-
-        for idx in remaining:
+        deferred: list[int] = []
+        while eligible:
+            idx = heappop(eligible)
             t = transfers[idx]
-            ready = 0
-            blocked = False
-            for c in t.chunks:
-                a = avail.get((t.src, c))
-                if a is None:
-                    blocked = True
-                    break
-                ready = max(ready, a)
-            if blocked or ready > r:
-                if not blocked:
-                    min_future = ready if min_future is None else min(min_future, ready)
-                next_remaining.append(idx)
-                continue
             if not _fits(port_model, t, send_busy, recv_busy, edge_busy):
-                next_remaining.append(idx)
+                deferred.append(idx)
                 continue
             this_round.append(t)
+            done[idx] = True
             send_busy.add(t.src)
             recv_busy.add(t.dst)
             edge_busy.add((t.src, t.dst))
             for c in t.chunks:
                 key = (t.dst, c)
-                if key not in avail or avail[key] > r + 1:
+                if key not in avail:
                     avail[key] = r + 1
-
-        if this_round:
-            rounds.append(tuple(this_round))
-            remaining = next_remaining
-            r += 1
-        elif min_future is not None and min_future > r:
-            r = min_future  # idle gap: nothing deliverable yet
-        else:
-            stuck = [transfers[i] for i in remaining[:4]]
-            raise RuntimeError(
-                f"list scheduling deadlocked with {len(remaining)} transfers "
-                f"left, e.g. {stuck}"
-            )
-        guard += 1
-        if guard > max_rounds:
-            raise RuntimeError("list scheduling failed to converge")
+                    for w in waiters.pop(key, ()):
+                        missing[w] -= 1
+                        if missing[w] == 0:
+                            tw = transfers[w]
+                            ready = 0
+                            for cw in tw.chunks:
+                                a = avail[(tw.src, cw)]
+                                if a > ready:
+                                    ready = a
+                            heappush(future, (ready, w))
+        for idx in deferred:
+            heappush(eligible, idx)
+        # The round is never empty: with fresh busy sets the first
+        # eligible transfer always fits.
+        rounds.append(tuple(this_round))
+        placed += len(this_round)
+        r += 1
 
     return Schedule(
         rounds=rounds,
@@ -194,16 +233,38 @@ def greedy_partition(
     limit: int,
 ) -> list[list[Chunk]]:
     """First-fit partition of ``chunks`` (in the given order) into
-    bins of at most ``limit`` elements each."""
-    bins: list[tuple[int, list[Chunk]]] = []
+    bins of at most ``limit`` elements each.
+
+    Only bins with spare room are probed (a saturated bin can never
+    take a chunk of size >= 1, so skipping it preserves first-fit
+    placement exactly); zero-sized chunks fall back to the full scan,
+    where a saturated bin *does* accept them.
+    """
+    used: list[int] = []
+    members: list[list[Chunk]] = []
+    open_bins: list[int] = []  # bins with used < limit, creation order
     for c in chunks:
         s = sizes[c]
         placed = False
-        for i, (used, members) in enumerate(bins):
-            if used + s <= limit:
-                bins[i] = (used + s, members + [c])
-                placed = True
-                break
+        if s > 0:
+            for pos, i in enumerate(open_bins):
+                u = used[i]
+                if u + s <= limit:
+                    used[i] = u + s
+                    members[i].append(c)
+                    if u + s >= limit:
+                        open_bins.pop(pos)
+                    placed = True
+                    break
+        else:
+            for i in range(len(used)):
+                if used[i] + s <= limit:
+                    members[i].append(c)
+                    placed = True
+                    break
         if not placed:
-            bins.append((s, [c]))
-    return [members for _, members in bins]
+            used.append(s)
+            members.append([c])
+            if s < limit:
+                open_bins.append(len(used) - 1)
+    return members

@@ -56,3 +56,21 @@ class LinkStats:
     def busiest_edges(self, k: int = 5) -> list[tuple[DirectedEdge, int]]:
         """The ``k`` most loaded directed edges by elements."""
         return self.elems.most_common(k)
+
+    def merge(self, *others: "LinkStats") -> "LinkStats":
+        """Fold other stats into this one (in place); returns ``self``.
+
+        Counters add edge-wise, so merging per-worker (or per-actor)
+        stats yields exactly the counters a single global observer
+        would have recorded.  Used by the runtime cluster (one
+        :class:`LinkStats` per actor) and by sweep telemetry.
+        """
+        for other in others:
+            self.elems.update(other.elems)
+            self.packets.update(other.packets)
+        return self
+
+    @classmethod
+    def merged(cls, stats: "list[LinkStats] | tuple[LinkStats, ...]") -> "LinkStats":
+        """A fresh :class:`LinkStats` combining ``stats`` (inputs untouched)."""
+        return cls().merge(*stats)

@@ -115,7 +115,7 @@ class TestScheduleRoundtrip:
         configure_disk(None)
         _generate()
         assert schedule_disk.stats() == {
-            "hits": 0, "misses": 0, "stores": 0, "errors": 0,
+            "hits": 0, "misses": 0, "stores": 0, "errors": 0, "evictions": 0,
         }
 
 
@@ -203,7 +203,7 @@ class TestStatsIntegration:
         assert "cache.disk.schedules" in stats
         assert "cache.disk.trees" in stats
         assert set(stats["cache.disk.schedules"]) == {
-            "hits", "misses", "stores", "errors",
+            "hits", "misses", "stores", "errors", "evictions",
         }
 
     def test_clear_caches_resets_counters_but_keeps_files(self, tmp_path):
@@ -232,3 +232,72 @@ class TestWarmFigureRun:
         assert warm.sweep.disk_hits > 0
         assert warm.sweep.disk_hits == warm.sweep.lru_misses
         assert cache.cache_stats()["cache.disk.schedules"]["misses"] == 0
+
+
+class TestClearFilesAndEviction:
+    def _cache(self, tmp_path, **kwargs):
+        configure_disk(tmp_path)
+        return disk_mod.DiskCache("test.disk.evict", "evict", **kwargs)
+
+    def test_clear_files_purges_the_store(self, tmp_path):
+        c = self._cache(tmp_path)
+        for k in range(4):
+            assert c.store(("k", k), k)
+        assert len(c._entries()) == 4
+        c.clear(files=True)
+        assert c._entries() == []
+        assert c.stats() == {
+            "hits": 0, "misses": 0, "stores": 0, "errors": 0, "evictions": 0,
+        }
+        assert c.fetch(("k", 0)) is MISSING
+
+    def test_default_clear_keeps_files(self, tmp_path):
+        c = self._cache(tmp_path)
+        c.store(("k", 0), "v")
+        c.clear()
+        assert c.fetch(("k", 0)) == "v"
+
+    def test_max_entries_evicts_oldest(self, tmp_path):
+        import os
+        import time
+
+        c = self._cache(tmp_path, max_entries=3)
+        for k in range(5):
+            c.store(("k", k), k)
+            # distinct mtimes even on coarse-grained filesystems
+            path = c._path(("k", k))
+            past = time.time() - 100 + k
+            os.utime(path, (past, past))
+            c._evict()
+        assert len(c._entries()) <= 3
+        assert c.evictions >= 2
+        assert c.fetch(("k", 0)) is MISSING  # oldest gone
+        assert c.fetch(("k", 4)) == 4  # newest kept
+
+    def test_fetch_refreshes_recency(self, tmp_path):
+        import os
+
+        c = self._cache(tmp_path, max_entries=2)
+        c.store(("k", 0), 0)
+        c.store(("k", 1), 1)
+        for k in (0, 1):
+            p = c._path(("k", k))
+            os.utime(p, (1000.0 + k, 1000.0 + k))
+        assert c.fetch(("k", 0)) == 0  # touches k0, now newest
+        c.store(("k", 2), 2)
+        assert c.fetch(("k", 0)) == 0  # survived: k1 was evicted
+        assert c.fetch(("k", 1)) is MISSING
+
+    def test_env_bound_applies_when_unset(self, tmp_path, monkeypatch):
+        c = self._cache(tmp_path)
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "2")
+        for k in range(4):
+            c.store(("k", k), k)
+        assert len(c._entries()) <= 2
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "not-a-number")
+        c.store(("k", 9), 9)  # ignored bound: no crash, no eviction
+        assert c.fetch(("k", 9)) == 9
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            disk_mod.DiskCache("test.disk.bad", "bad", max_entries=0)

@@ -183,3 +183,30 @@ class TestSerialParallelIdentity:
         # sanity: worker-side AssertionErrors surface, not silent Nones
         report = run_table5(max_n=6, construct_up_to=6, jobs=2)
         assert len(report.rows) == 5
+
+
+class TestMergedLinkStats:
+    def test_merges_link_stats_and_result_values(self):
+        from repro.experiments.parallel import SweepResult, merged_link_stats
+        from repro.sim.trace import LinkStats
+        from repro.topology.hypercube import DirectedEdge
+
+        class _Res:  # duck-types AsyncResult/CollectiveResult
+            def __init__(self, stats):
+                self.link_stats = stats
+
+        bare = LinkStats()
+        bare.record(0, 1, 5)
+        wrapped = LinkStats()
+        wrapped.record(0, 1, 2)
+        wrapped.record(1, 3, 4)
+        values = [bare, _Res(wrapped), "no stats here", None]
+        merged = merged_link_stats(values)
+        assert merged.elems[DirectedEdge(0, 1)] == 7
+        assert merged.elems[DirectedEdge(1, 3)] == 4
+        assert bare.elems[DirectedEdge(0, 1)] == 5  # inputs untouched
+
+        result = SweepResult(values=values, stats=SweepStats(
+            jobs=1, chunksize=1, executor="serial",
+        ))
+        assert result.merged_link_stats().elems == merged.elems

@@ -192,6 +192,66 @@ class TestAboveThreshold:
         )
 
 
+class TestRuntimeRepair:
+    """Chaos against the actor runtime: with ``on_fault="repair"`` the
+    timeout-driven survivor-tree recovery must deliver the broadcast to
+    every node the faults leave connected to the source — no matter
+    which links die."""
+
+    @staticmethod
+    def _reachable(cube: Hypercube, source: int, plan: FaultPlan) -> set[int]:
+        dead = plan.dead_links
+        seen = {source}
+        frontier = [source]
+        while frontier:
+            u = frontier.pop()
+            for v in cube.neighbors(u):
+                if (min(u, v), max(u, v)) in dead or v in seen:
+                    continue
+                seen.add(v)
+                frontier.append(v)
+        return seen
+
+    @settings(max_examples=40, deadline=None)
+    @given(chaos_on_clean_schedule())
+    def test_repair_delivers_the_connected_component(self, case):
+        cube, source, port_model, plan = case
+        result = broadcast(
+            cube, source, "sbt", 2 * cube.dimension, 2, port_model,
+            faults=plan, on_fault="repair", backend="runtime",
+        )
+        rt = result.async_
+        want = set(result.schedule.chunk_sizes)
+        reachable = self._reachable(cube, source, plan)
+        for v in reachable:
+            assert rt.holdings[v] >= want, (
+                f"node {v} is connected to the source yet incomplete"
+            )
+        # anything beyond the component is honestly reported, not lost
+        cut_off = set(cube.nodes()) - reachable
+        if cut_off:
+            assert isinstance(rt, DegradedResult)
+            assert cut_off <= set(rt.undelivered_nodes)
+
+    @settings(max_examples=20, deadline=None)
+    @given(chaos_on_clean_schedule())
+    def test_report_mode_matches_engine_shape(self, case):
+        cube, source, port_model, plan = case
+        result = broadcast(
+            cube, source, "sbt", cube.dimension, 1, port_model,
+            faults=plan, on_fault="report", backend="runtime",
+        )
+        rt = result.async_
+        want = set(result.schedule.chunk_sizes)
+        if isinstance(rt, DegradedResult):
+            for v in cube.nodes():
+                missing = want - rt.holdings[v]
+                assert missing == set(rt.undelivered.get(v, frozenset()))
+        else:
+            for v in cube.nodes():
+                assert rt.holdings[v] >= want
+
+
 class TestNeverSilent:
     """Faults hitting an unsuspecting schedule: every loss is reported."""
 

@@ -1,0 +1,155 @@
+"""Unit tests for the virtual clock and port-admission channels."""
+
+from __future__ import annotations
+
+from repro.runtime.channels import Channel, PortAdmission
+from repro.runtime.clock import VirtualClock
+from repro.sim.ports import PortModel
+
+
+class TestChannel:
+    def test_same_port_serializes(self):
+        ch = Channel(overlap=0.0)
+        ch.occupy(0, 0.0, 4.0)
+        assert ch.earliest_start(0, 0.0) == 4.0
+
+    def test_cross_port_overlap_release(self):
+        ch = Channel(overlap=0.25)
+        ch.occupy(0, 0.0, 4.0)
+        # other ports wait until start + (1 - 0.25) * 4 = 3.0
+        assert ch.earliest_start(1, 0.0) == 3.0
+
+    def test_occupy_prunes_finished_actions(self):
+        ch = Channel(overlap=0.0)
+        ch.occupy(0, 0.0, 1.0)
+        ch.occupy(1, 2.0, 3.0)  # the port-0 action (ended 1.0) is pruned
+        assert ch._actions == [(1, 2.0, 3.0)]
+
+    def test_earliest_start_floors_at_now(self):
+        ch = Channel(overlap=0.0)
+        assert ch.earliest_start(0, 7.5) == 7.5
+
+
+class TestPortAdmission:
+    def test_half_duplex_shares_one_channel(self):
+        adm = PortAdmission(PortModel.ONE_PORT_HALF, overlap=0.0)
+        assert adm.send_channel(3) is adm.recv_channel(3)
+
+    def test_full_duplex_separates_directions(self):
+        adm = PortAdmission(PortModel.ONE_PORT_FULL, overlap=0.0)
+        assert adm.send_channel(3) is not adm.recv_channel(3)
+
+    def test_all_port_only_link_serializes(self):
+        adm = PortAdmission(PortModel.ALL_PORT, overlap=0.0)
+        assert adm.all_port
+        adm.occupy(("k",), 0, 1, 0, 0.0, 5.0)
+        # node capacity unconstrained; the directed link is not
+        assert adm.earliest_start(0, 2, 1, 0.0) == 0.0
+        assert adm.earliest_start(0, 1, 0, 0.0) == 5.0
+        # the reverse direction is a different link
+        assert adm.earliest_start(1, 0, 0, 0.0) == 0.0
+
+    def test_one_port_send_blocks_other_ports(self):
+        adm = PortAdmission(PortModel.ONE_PORT_FULL, overlap=0.0)
+        dirtied = adm.occupy(("k",), 0, 1, 0, 0.0, 5.0)
+        assert len(dirtied) == 2
+        assert adm.earliest_start(0, 2, 1, 0.0) == 5.0  # sender busy
+        assert adm.earliest_start(2, 1, 0, 0.0) == 5.0  # receiver busy
+        assert adm.earliest_start(2, 3, 0, 0.0) == 0.0  # bystanders free
+
+    def test_block_registers_for_sweep(self):
+        adm = PortAdmission(PortModel.ONE_PORT_FULL, overlap=0.0)
+        adm.block(("k",), 0, 1)
+        assert ("k",) in adm.send_channel(0).blocked
+        assert ("k",) in adm.recv_channel(1).blocked
+        adm.occupy(("k",), 0, 1, 0, 0.0, 1.0)
+        assert ("k",) not in adm.send_channel(0).blocked
+
+
+class TestVirtualClock:
+    def test_exam_dedup_keeps_earliest(self):
+        clk = VirtualClock()
+        clk.push_exam((5,), 3.0)
+        clk.push_exam((5,), 7.0)  # later request is absorbed
+        assert clk.advance()
+        assert clk.now == 3.0
+        assert clk.pop_batch() == ((5,), 3.0)
+        assert clk.pop_batch() is None
+
+    def test_earlier_exam_supersedes(self):
+        clk = VirtualClock()
+        clk.push_exam((5,), 7.0)
+        clk.push_exam((5,), 3.0)
+        assert clk.advance()
+        assert clk.now == 3.0
+        assert clk.pop_batch() == ((5,), 3.0)
+        # the stale 7.0 entry is dropped on its instant
+        clk.mark_done((5,))
+        assert not clk.advance()
+
+    def test_instant_coalescing_orders_by_key(self):
+        clk = VirtualClock()
+        clk.push_exam((2,), 1.0)
+        clk.push_exam((1,), 1.0 + 1e-13)  # same instant within _EPS
+        assert clk.advance()
+        keys = [clk.pop_batch()[0], clk.pop_batch()[0]]
+        assert keys == [(1,), (2,)]  # key order, not arrival order
+
+    def test_pure_wakes_never_live(self):
+        clk = VirtualClock()
+        clk.push_wake(1.0)
+        clk.push_wake(2.0)
+        assert not clk.advance()
+
+    def test_wake_time_represents_the_instant(self):
+        clk = VirtualClock()
+        clk.push_wake(5.0)
+        clk.push_exam((1,), 5.0 + 1e-13)
+        assert clk.advance()
+        assert clk.now == 5.0  # the wake's float, as in the engine
+
+    def test_deliveries_are_live_and_counted(self):
+        clk = VirtualClock()
+        clk.push_delivery(4.0)
+        clk.push_delivery(4.0)
+        clk.push_exam((1,), 9.0)
+        assert clk.advance()
+        assert clk.now == 4.0
+        assert clk.due_deliveries == 2
+        assert clk.pop_batch() is None  # instant had only deliveries
+        assert clk.advance()
+        assert clk.now == 9.0
+        assert clk.due_deliveries == 0
+
+    def test_done_keys_never_pop(self):
+        clk = VirtualClock()
+        clk.push_exam((1,), 2.0)
+        clk.push_exam((2,), 2.0)
+        clk.mark_done((1,))
+        assert clk.advance()
+        assert clk.pop_batch() == ((2,), 2.0)
+        assert clk.pop_batch() is None
+
+    def test_submission_enters_current_instant(self):
+        clk = VirtualClock()
+        clk.push_exam((3,), 2.0)
+        assert clk.advance()
+        assert clk.now == 2.0
+        clk.push_submission((1,))
+        # the submitted key ranks by key order within the open instant
+        assert clk.pop_batch() == ((1,), 2.0)
+        assert clk.pop_batch() == ((3,), 2.0)
+
+    def test_same_instant_push_respects_cursor(self):
+        clk = VirtualClock()
+        clk.push_exam((1,), 2.0)
+        clk.push_exam((2,), 2.0)
+        assert clk.advance()
+        assert clk.pop_batch() == ((1,), 2.0)  # cursor now at (1,)
+        # re-examining a key at or before the cursor waits a pass;
+        # later keys join the current pass
+        clk.push_exam((1,), 2.0)
+        clk.push_exam((3,), 2.0)
+        assert clk.pop_batch() == ((2,), 2.0)
+        assert clk.pop_batch() == ((3,), 2.0)
+        assert clk.pop_batch() == ((1,), 2.0)  # next pass

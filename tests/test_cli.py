@@ -100,6 +100,45 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["broadcast", "--dim", "3", "--dead-link", "zero:one"])
 
+    def test_runtime_backend_broadcast(self, capsys):
+        code = main([
+            "broadcast", "--dim", "3", "-a", "sbt", "-M", "8", "-B", "4",
+            "--backend", "runtime",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend           : runtime" in out
+        assert "runtime time" in out
+
+    def test_runtime_backend_repair_with_trace(self, capsys, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        code = main([
+            "broadcast", "--dim", "3", "-a", "sbt", "-M", "8", "-B", "4",
+            "--backend", "runtime", "--dead-link", "0:1",
+            "--on-fault", "repair",
+            "--trace-jsonl", str(jsonl), "--trace-chrome", str(chrome),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repair rounds     : 1" in out
+        assert jsonl.exists() and chrome.exists()
+
+    def test_repair_requires_runtime_backend(self, capsys):
+        code = main([
+            "broadcast", "--dim", "3", "--dead-link", "0:1",
+            "--on-fault", "repair",
+        ])
+        assert code == 2
+        assert "requires --backend runtime" in capsys.readouterr().err
+
+    def test_trace_requires_runtime_backend(self, capsys):
+        code = main([
+            "broadcast", "--dim", "3", "--trace-jsonl", "/tmp/x.jsonl",
+        ])
+        assert code == 2
+        assert "require --backend runtime" in capsys.readouterr().err
+
     def test_figure_command_dispatches(self, capsys, monkeypatch):
         # patch in a tiny stand-in so the test stays fast
         from repro import experiments
