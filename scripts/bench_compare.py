@@ -104,28 +104,49 @@ def compare(
     baseline: dict,
     threshold: float,
     min_delta: float,
-) -> int:
+) -> tuple[int, dict]:
+    """Print the comparison; return (exit code, JSON-able report)."""
     recorded = baseline.get("benchmarks", {})
     regressions = []
+    rows = []
     width = max((len(n) for n in medians), default=0)
     for name in sorted(medians):
         median = medians[name]
         entry = recorded.get(name)
         if entry is None:
             print(f"{name:<{width}}  {median:>10.4f}s  (new - no baseline)")
+            rows.append({"name": name, "median": median, "status": "new"})
             continue
         base = entry["median"]
         ratio = median / base if base > 0 else float("inf")
         marker = ""
+        status = "ok"
         if ratio > 1.0 + threshold and median - base > min_delta:
             marker = "  REGRESSION"
+            status = "regression"
             regressions.append((name, base, median, ratio))
         print(
             f"{name:<{width}}  {median:>10.4f}s  baseline {base:.4f}s  "
             f"x{ratio:.2f}{marker}"
         )
+        rows.append(
+            {
+                "name": name,
+                "median": median,
+                "baseline": base,
+                "ratio": ratio if ratio != float("inf") else None,
+                "status": status,
+            }
+        )
     for name in sorted(set(recorded) - set(medians)):
         print(f"{name:<{width}}  (baseline entry has no benchmark - stale?)")
+        rows.append(
+            {
+                "name": name,
+                "baseline": recorded[name]["median"],
+                "status": "stale",
+            }
+        )
     if regressions:
         print(
             f"\n{len(regressions)} regression(s) beyond {threshold:.0%} "
@@ -133,9 +154,16 @@ def compare(
         )
         for name, base, median, ratio in regressions:
             print(f"  {name}: {base:.4f}s -> {median:.4f}s (x{ratio:.2f})")
-        return 1
-    print("\nno regressions")
-    return 0
+    else:
+        print("\nno regressions")
+    report = {
+        "threshold": threshold,
+        "min_delta": min_delta,
+        "regressions": len(regressions),
+        "passed": not regressions,
+        "benchmarks": rows,
+    }
+    return (1 if regressions else 0), report
 
 
 def main() -> int:
@@ -165,6 +193,11 @@ def main() -> int:
         "(default 0.005)",
     )
     parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="also write the comparison as a JSON report (for CI artifacts)",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
@@ -185,7 +218,19 @@ def main() -> int:
         sys.exit(
             f"no baseline at {baseline_path}; create one with --update"
         )
-    return compare(medians, baseline, args.threshold, args.min_delta)
+    code, report = compare(medians, baseline, args.threshold, args.min_delta)
+    if args.report:
+        report = {
+            "suite": args.suite,
+            "baseline_file": baseline_rel,
+            "generated": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            **report,
+        }
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written: {args.report}")
+    return code
 
 
 if __name__ == "__main__":

@@ -8,8 +8,6 @@ claims (``~ log N``, ``1.5``, ``2``, ...) at finite ``N``.
 
 from __future__ import annotations
 
-from math import ceil, log2
-
 from repro.analysis.models import broadcast_model
 from repro.sim.ports import PortModel
 

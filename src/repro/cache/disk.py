@@ -50,6 +50,7 @@ from typing import Any, Iterator
 
 from repro._version import __version__
 from repro.cache.lru import MISSING, _REGISTRY
+from repro.obs.instruments import CACHE_DISK_BYTES, CACHE_OPS
 
 __all__ = [
     "DiskCache",
@@ -136,12 +137,51 @@ class DiskCache:
         self.name = name
         self.subdir = subdir
         self.max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-        self.errors = 0
-        self.evictions = 0
+        # Observability-registry counters (``always=True``: they back
+        # the functional cache_stats() API); a new instance under the
+        # same name restarts them, matching registry replacement.
+        self._hit = CACHE_OPS.labels(cache=name, op="hit")
+        self._miss = CACHE_OPS.labels(cache=name, op="miss")
+        self._store = CACHE_OPS.labels(cache=name, op="store")
+        self._error = CACHE_OPS.labels(cache=name, op="error")
+        self._evictions_c = CACHE_OPS.labels(cache=name, op="eviction")
+        self._bytes_read = CACHE_DISK_BYTES.labels(
+            cache=name, direction="read"
+        )
+        self._bytes_written = CACHE_DISK_BYTES.labels(
+            cache=name, direction="write"
+        )
+        for series in (
+            self._hit, self._miss, self._store, self._error,
+            self._evictions_c, self._bytes_read, self._bytes_written,
+        ):
+            series.reset()
         _REGISTRY[name] = self
+
+    @property
+    def hits(self) -> int:
+        """Fetches served from disk."""
+        return self._hit.value
+
+    @property
+    def misses(self) -> int:
+        """Fetches that found no (usable) file."""
+        return self._miss.value
+
+    @property
+    def stores(self) -> int:
+        """Values persisted successfully."""
+        return self._store.value
+
+    @property
+    def errors(self) -> int:
+        """Unreadable files dropped and failed writes."""
+        return self._error.value
+
+    @property
+    def evictions(self) -> int:
+        """Files removed by the LRU entry bound."""
+        return self._evictions_c.value
 
     def _effective_max_entries(self) -> int | None:
         if self.max_entries is not None:
@@ -188,19 +228,21 @@ class DiskCache:
         try:
             with open(path, "rb") as f:
                 value = pickle.load(f)
+                nbytes = f.tell()
         except FileNotFoundError:
-            self.misses += 1
+            self._miss.inc()
             return MISSING
         except Exception:
             # truncated/corrupt/incompatible file: drop it and regenerate
-            self.errors += 1
-            self.misses += 1
+            self._error.inc()
+            self._miss.inc()
             try:
                 path.unlink()
             except OSError:
                 pass
             return MISSING
-        self.hits += 1
+        self._hit.inc()
+        self._bytes_read.inc(nbytes)
         try:
             os.utime(path)  # refresh recency for LRU eviction
         except OSError:
@@ -223,14 +265,18 @@ class DiskCache:
             os.replace(tmp_name, path)
             tmp_name = None
         except (OSError, pickle.PicklingError):
-            self.errors += 1
+            self._error.inc()
             if tmp_name is not None:
                 try:
                     os.unlink(tmp_name)
                 except OSError:
                     pass
             return False
-        self.stores += 1
+        self._store.inc()
+        try:
+            self._bytes_written.inc(path.stat().st_size)
+        except OSError:  # pragma: no cover - raced deletion
+            pass
         self._evict()
         return True
 
@@ -253,7 +299,7 @@ class DiskCache:
         for p in entries[: len(entries) - bound]:
             try:
                 p.unlink()
-                self.evictions += 1
+                self._evictions_c.inc()
             except OSError:
                 pass
 
@@ -275,11 +321,11 @@ class DiskCache:
         without arguments, so a sweep-scoped reset never destroys the
         persistent store — purging the files is an explicit act.
         """
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-        self.errors = 0
-        self.evictions = 0
+        for series in (
+            self._hit, self._miss, self._store, self._error,
+            self._evictions_c, self._bytes_read, self._bytes_written,
+        ):
+            series.reset()
         if files:
             for p in self._entries():
                 try:

@@ -25,6 +25,8 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Hashable, Iterator
 
+from repro.obs.instruments import CACHE_OPS
+
 __all__ = [
     "LRUCache",
     "MISSING",
@@ -65,11 +67,33 @@ class LRUCache:
             raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
         self.name = name
         self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # Counters live in the observability registry (``always=True``:
+        # they back the functional cache_stats() API, so they keep
+        # counting while telemetry is disabled).  Re-creating a cache
+        # under an existing name replaces the registry entry, so the
+        # series restart at zero with it.
+        self._hit = CACHE_OPS.labels(cache=name, op="hit")
+        self._miss = CACHE_OPS.labels(cache=name, op="miss")
+        self._evict = CACHE_OPS.labels(cache=name, op="eviction")
+        for series in (self._hit, self._miss, self._evict):
+            series.reset()
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         _REGISTRY[name] = self
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache."""
+        return self._hit.value
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell through to generation."""
+        return self._miss.value
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped by the LRU bound."""
+        return self._evict.value
 
     def __len__(self) -> int:
         return len(self._data)
@@ -79,10 +103,10 @@ class LRUCache:
         try:
             value = self._data[key]
         except KeyError:
-            self.misses += 1
+            self._miss.inc()
             return MISSING
         self._data.move_to_end(key)
-        self.hits += 1
+        self._hit.inc()
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -93,14 +117,14 @@ class LRUCache:
         data[key] = value
         if self.maxsize is not None and len(data) > self.maxsize:
             data.popitem(last=False)
-            self.evictions += 1
+            self._evict.inc()
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         self._data.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._hit.reset()
+        self._miss.reset()
+        self._evict.reset()
 
     def stats(self) -> dict[str, int | None]:
         """Counters snapshot: size, maxsize, hits, misses, evictions."""

@@ -23,6 +23,7 @@ import argparse
 import json
 import sys
 from collections.abc import Sequence
+from contextlib import nullcontext
 
 from repro.collectives.api import (
     BROADCAST_ALGORITHMS,
@@ -30,6 +31,7 @@ from repro.collectives.api import (
     broadcast,
     scatter,
 )
+from repro.obs import configure_logging, profiled, write_metrics_json
 from repro.sim.faults import FaultError, FaultPlan
 from repro.sim.machine import IPSC_D7, MachineParams
 from repro.sim.ports import PortModel
@@ -63,6 +65,18 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
              "(default: REPRO_CACHE_DIR)")
 
 
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the full metrics-registry snapshot (engine/runtime/"
+             "cache/sweep counters, phase timings) to PATH as JSON "
+             "('-' for stdout) when the command finishes")
+    parser.add_argument(
+        "--log-json", default=None, metavar="PATH",
+        help="append structured JSON-lines logs to PATH ('-' for stdout) "
+             "while the command runs")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -75,10 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
     t = sub.add_parser("table", help="regenerate one of the paper's tables")
     t.add_argument("number", type=int, choices=range(1, 7))
     _add_sweep_options(t)
+    _add_obs_options(t)
 
     f = sub.add_parser("figure", help="regenerate one of the paper's figures")
     f.add_argument("number", type=int, choices=range(5, 9))
     _add_sweep_options(f)
+    _add_obs_options(f)
 
     s = sub.add_parser(
         "sweep",
@@ -90,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiments to run (fig5..fig8, table1..table6, scatter, "
              "or the groups all/figures/tables)")
     _add_sweep_options(s)
+    _add_obs_options(s)
     s.add_argument(
         "--stats-json", default=None, metavar="PATH",
         help="write per-point timing/cache telemetry for every target "
@@ -132,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the runtime's per-packet trace to PATH "
                             "in Chrome trace_event format "
                             "(requires --backend runtime)")
+        c.add_argument("--profile", action="store_true",
+                       help="capture a cProfile of the collective and "
+                            "print the hottest functions")
+        _add_obs_options(c)
     return parser
 
 
@@ -159,6 +180,16 @@ def _expand_sweep_targets(targets: Sequence[str]) -> list[str]:
     return [t for t in expanded if not (t in seen or seen.add(t))]
 
 
+def _write_metrics(args: argparse.Namespace, **extra: object) -> None:
+    """Honour ``--metrics-json`` after a command finishes."""
+    if getattr(args, "metrics_json", None):
+        write_metrics_json(
+            args.metrics_json, extra={"command": args.command, **extra}
+        )
+        if args.metrics_json != "-":
+            print(f"metrics written to {args.metrics_json}")
+
+
 def _run_sweep_command(args: argparse.Namespace) -> int:
     from repro import experiments
 
@@ -175,18 +206,30 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
         with open(args.stats_json, "w") as f:
             json.dump(all_stats, f, indent=2)
         print(f"sweep telemetry written to {args.stats_json}")
+    _write_metrics(args, targets=list(all_stats))
     return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    log_target = getattr(args, "log_json", None)
+    if log_target:
+        configure_logging(log_target)
+    try:
+        return _dispatch(args)
+    finally:
+        if log_target:
+            configure_logging(None)
 
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "table":
         from repro import experiments
 
         runner = getattr(experiments, f"run_table{args.number}")
         print(runner(jobs=args.jobs, cache_dir=args.cache_dir).render())
+        _write_metrics(args)
         return 0
 
     if args.command == "figure":
@@ -194,6 +237,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         runner = getattr(experiments, f"run_fig{args.number}")
         print(runner(jobs=args.jobs, cache_dir=args.cache_dir).render())
+        _write_metrics(args)
         return 0
 
     if args.command == "sweep":
@@ -219,21 +263,23 @@ def main(argv: Sequence[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
     op = broadcast if args.command == "broadcast" else scatter
+    prof_ctx = profiled() if args.profile else nullcontext()
     try:
-        result = op(
-            cube,
-            args.source,
-            args.algorithm,
-            message_elems=args.message,
-            packet_elems=args.packet,
-            port_model=port_model,
-            machine=machine,
-            run_event_sim=args.ipsc,
-            faults=faults,
-            on_fault=args.on_fault,
-            backend=args.backend,
-            trace=want_trace,
-        )
+        with prof_ctx as prof:
+            result = op(
+                cube,
+                args.source,
+                args.algorithm,
+                message_elems=args.message,
+                packet_elems=args.packet,
+                port_model=port_model,
+                machine=machine,
+                run_event_sim=args.ipsc,
+                faults=faults,
+                on_fault=args.on_fault,
+                backend=args.backend,
+                trace=want_trace,
+            )
     except FaultError as exc:
         print(f"fault: {exc}", file=sys.stderr)
         return 1
@@ -269,6 +315,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     print(f"  busiest edge      : {result.link_stats.max_edge_elems()} elements")
     print(f"  edge utilization  : {profile.edge_utilization:.1%}")
     print(f"  source port skew  : {profile.balance_ratio():.2f}x")
+    if result.metrics:
+        phases = ", ".join(
+            f"{name} {secs * 1e3:.2f}ms"
+            for name, secs in result.metrics["phases"].items()
+        )
+        print(f"  phase timings     : {phases}")
+    if args.profile:
+        print()
+        print(prof.text(limit=20))
+    _write_metrics(args, collective=result.metrics)
     return 0
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.cache import cached_tree
 from repro.collectives.result import CollectiveResult
+from repro.obs.runs import RunCollector
 from repro.routing import (
     allgather_initial_holdings,
     allgather_schedule,
@@ -108,39 +109,45 @@ def _runtime_collective(
             f"the runtime backend implements {op} for {allowed}, "
             f"got {algorithm!r}"
         )
-    rt = run_collective(
-        cube, op, algorithm, source, message_elems, packet_elems,
-        port_model, machine=machine, subtree_order=subtree_order,
-        faults=faults, on_fault=on_fault, trace=trace,
-    )
-    if op == "broadcast":
-        sched = (
-            sbt_broadcast_schedule
-            if algorithm == "sbt"
-            else msbt_broadcast_schedule
-        )(cube, source, message_elems, packet_elems, port_model)
-    else:
-        sched = _scatter_schedule(
-            cube, source, algorithm, message_elems, packet_elems,
-            port_model, subtree_order,
+    collector = RunCollector(op, algorithm, backend="runtime")
+    with collector.phase("runtime"):
+        rt = run_collective(
+            cube, op, algorithm, source, message_elems, packet_elems,
+            port_model, machine=machine, subtree_order=subtree_order,
+            faults=faults, on_fault=on_fault, trace=trace,
         )
+    with collector.phase("schedule"):
+        if op == "broadcast":
+            sched = (
+                sbt_broadcast_schedule
+                if algorithm == "sbt"
+                else msbt_broadcast_schedule
+            )(cube, source, message_elems, packet_elems, port_model)
+        else:
+            sched = _scatter_schedule(
+                cube, source, algorithm, message_elems, packet_elems,
+                port_model, subtree_order,
+            )
     initial = {source: set(sched.chunk_sizes)}
-    sync = run_synchronous(
-        cube, sched, port_model, initial, machine,
-        faults=faults, on_fault="report" if faults else "raise",
-    )
+    with collector.phase("sync"):
+        sync = run_synchronous(
+            cube, sched, port_model, initial, machine,
+            faults=faults, on_fault="report" if faults else "raise",
+        )
     undelivered = (
         frozenset(rt.undelivered_nodes)
         if isinstance(rt, DegradedResult)
         else frozenset()
     )
-    return CollectiveResult(
+    result = CollectiveResult(
         schedule=sched,
         sync=sync,
         async_=rt,
         faults=faults,
         undelivered_nodes=undelivered,
     )
+    collector.finalize(result)
+    return result
 
 
 def _run(
@@ -153,19 +160,22 @@ def _run(
     faults: FaultPlan | None = None,
     on_fault: str = "raise",
     undelivered: frozenset[int] = frozenset(),
+    collector: RunCollector | None = None,
 ) -> CollectiveResult:
-    sync = run_synchronous(
-        cube, schedule, port_model, initial, machine,
-        faults=faults, on_fault=on_fault,
-    )
-    async_ = (
-        run_async(
+    collector = collector or RunCollector("-", schedule.algorithm)
+    with collector.phase("sync"):
+        sync = run_synchronous(
             cube, schedule, port_model, initial, machine,
             faults=faults, on_fault=on_fault,
         )
-        if run_event_sim
-        else None
-    )
+    if run_event_sim:
+        with collector.phase("async"):
+            async_ = run_async(
+                cube, schedule, port_model, initial, machine,
+                faults=faults, on_fault=on_fault,
+            )
+    else:
+        async_ = None
     return CollectiveResult(
         schedule=schedule,
         sync=sync,
@@ -236,35 +246,53 @@ def broadcast(
             cube, source, algorithm, message_elems, packet_elems,
             port_model, machine, run_event_sim, faults, on_fault,
         )
-    if algorithm == "sbt":
-        sched = sbt_broadcast_schedule(
-            cube, source, message_elems, packet_elems, port_model
-        )
-    elif algorithm == "msbt":
-        sched = msbt_broadcast_schedule(
-            cube, source, message_elems, packet_elems, port_model
-        )
-    elif algorithm == "tcbt":
-        tree = cached_tree(TwoRootedCompleteBinaryTree, cube, source)
-        sched = tree_broadcast_schedule(tree, message_elems, packet_elems, port_model)
-    elif algorithm == "hp":
-        tree = cached_tree(HamiltonianPathTree, cube, source)
-        sched = tree_broadcast_schedule(tree, message_elems, packet_elems, port_model)
-    elif algorithm == "hp-centered":
-        tree = cached_tree(CenteredHamiltonianPathTree, cube, source)
-        sched = tree_broadcast_schedule(tree, message_elems, packet_elems, port_model)
-    elif algorithm == "hp-dual":
-        sched = dual_hp_broadcast_schedule(
-            cube, source, message_elems, packet_elems, port_model
-        )
-    else:
-        raise ValueError(
-            f"unknown broadcast algorithm {algorithm!r}; pick one of {BROADCAST_ALGORITHMS}"
+    collector = RunCollector("broadcast", algorithm)
+    with collector.phase("schedule"):
+        sched = _broadcast_schedule(
+            cube, source, algorithm, message_elems, packet_elems, port_model
         )
     initial = {source: set(sched.chunk_sizes)}
-    result = _run(cube, sched, port_model, initial, machine, run_event_sim)
+    result = _run(
+        cube, sched, port_model, initial, machine, run_event_sim,
+        collector=collector,
+    )
     _check_broadcast_delivery(cube, result)
+    collector.finalize(result)
     return result
+
+
+def _broadcast_schedule(
+    cube: Hypercube,
+    source: int,
+    algorithm: str,
+    message_elems: int,
+    packet_elems: int,
+    port_model: PortModel,
+) -> Schedule:
+    if algorithm == "sbt":
+        return sbt_broadcast_schedule(
+            cube, source, message_elems, packet_elems, port_model
+        )
+    if algorithm == "msbt":
+        return msbt_broadcast_schedule(
+            cube, source, message_elems, packet_elems, port_model
+        )
+    if algorithm == "tcbt":
+        tree = cached_tree(TwoRootedCompleteBinaryTree, cube, source)
+        return tree_broadcast_schedule(tree, message_elems, packet_elems, port_model)
+    if algorithm == "hp":
+        tree = cached_tree(HamiltonianPathTree, cube, source)
+        return tree_broadcast_schedule(tree, message_elems, packet_elems, port_model)
+    if algorithm == "hp-centered":
+        tree = cached_tree(CenteredHamiltonianPathTree, cube, source)
+        return tree_broadcast_schedule(tree, message_elems, packet_elems, port_model)
+    if algorithm == "hp-dual":
+        return dual_hp_broadcast_schedule(
+            cube, source, message_elems, packet_elems, port_model
+        )
+    raise ValueError(
+        f"unknown broadcast algorithm {algorithm!r}; pick one of {BROADCAST_ALGORITHMS}"
+    )
 
 
 def _broadcast_with_faults(
@@ -291,31 +319,35 @@ def _broadcast_with_faults(
         raise ValueError(
             f"unknown broadcast algorithm {algorithm!r}; pick one of {BROADCAST_ALGORITHMS}"
         )
+    collector = RunCollector("broadcast", algorithm)
     partial = on_fault == "report"
     covered = frozenset(cube.nodes())
     sched: Schedule | None = None
-    if algorithm == "msbt" and not faults.dead_nodes:
-        try:
-            sched = msbt_broadcast_schedule(
+    with collector.phase("schedule"):
+        if algorithm == "msbt" and not faults.dead_nodes:
+            try:
+                sched = msbt_broadcast_schedule(
+                    cube, source, message_elems, packet_elems, port_model,
+                    dead_links=tuple(sorted(faults.dead_links)),
+                )
+            except FaultError:
+                if not partial:
+                    raise
+        if sched is None:
+            sched, tree = fault_tolerant_broadcast_schedule(
                 cube, source, message_elems, packet_elems, port_model,
-                dead_links=tuple(sorted(faults.dead_links)),
+                faults, partial=partial,
             )
-        except FaultError:
-            if not partial:
-                raise
-    if sched is None:
-        sched, tree = fault_tolerant_broadcast_schedule(
-            cube, source, message_elems, packet_elems, port_model,
-            faults, partial=partial,
-        )
-        covered = tree.covered
+            covered = tree.covered
     initial = {source: set(sched.chunk_sizes)}
     result = _run(
         cube, sched, port_model, initial, machine, run_event_sim,
         faults=faults, on_fault=on_fault,
         undelivered=frozenset(cube.nodes()) - covered,
+        collector=collector,
     )
     _check_broadcast_delivery(cube, result, covered=covered)
+    collector.finalize(result)
     return result
 
 
@@ -370,30 +402,39 @@ def scatter(
             packet_elems, port_model, machine, faults, on_fault,
             subtree_order=subtree_order, trace=trace,
         )
+    collector = RunCollector("scatter", algorithm)
     if faults:
         if algorithm not in SCATTER_ALGORITHMS:
             raise ValueError(
                 f"unknown scatter algorithm {algorithm!r}; pick one of {SCATTER_ALGORITHMS}"
             )
         partial = on_fault == "report"
-        sched, tree = fault_tolerant_scatter_schedule(
-            cube, source, message_elems, packet_elems, port_model,
-            faults, partial=partial,
-        )
+        with collector.phase("schedule"):
+            sched, tree = fault_tolerant_scatter_schedule(
+                cube, source, message_elems, packet_elems, port_model,
+                faults, partial=partial,
+            )
         initial = {source: set(sched.chunk_sizes)}
         result = _run(
             cube, sched, port_model, initial, machine, run_event_sim,
             faults=faults, on_fault=on_fault,
             undelivered=frozenset(cube.nodes()) - tree.covered,
+            collector=collector,
         )
         _check_scatter_delivery(cube, source, result, covered=tree.covered)
+        collector.finalize(result)
         return result
-    sched = _scatter_schedule(
-        cube, source, algorithm, message_elems, packet_elems, port_model, subtree_order
-    )
+    with collector.phase("schedule"):
+        sched = _scatter_schedule(
+            cube, source, algorithm, message_elems, packet_elems, port_model, subtree_order
+        )
     initial = {source: set(sched.chunk_sizes)}
-    result = _run(cube, sched, port_model, initial, machine, run_event_sim)
+    result = _run(
+        cube, sched, port_model, initial, machine, run_event_sim,
+        collector=collector,
+    )
     _check_scatter_delivery(cube, source, result)
+    collector.finalize(result)
     return result
 
 
@@ -438,16 +479,22 @@ def gather(
     algorithm, hence identical step counts with transposed link loads.
     """
     packet_elems = message_elems if packet_elems is None else packet_elems
-    sched = gather_from_scatter(
-        _scatter_schedule(cube, root, algorithm, message_elems, packet_elems, port_model)
-    )
+    collector = RunCollector("gather", algorithm)
+    with collector.phase("schedule"):
+        sched = gather_from_scatter(
+            _scatter_schedule(cube, root, algorithm, message_elems, packet_elems, port_model)
+        )
     initial = {
         v: {c for c in sched.chunk_sizes if c[0] == MSG and c[1] == v}
         for v in cube.nodes()
     }
-    result = _run(cube, sched, port_model, initial, machine, run_event_sim)
+    result = _run(
+        cube, sched, port_model, initial, machine, run_event_sim,
+        collector=collector,
+    )
     if not result.sync.holdings[root] >= set(sched.chunk_sizes):
         raise AssertionError("gather failed to collect every message at the root")
+    collector.finalize(result)
     return result
 
 
@@ -462,9 +509,18 @@ def reduce(
 ) -> CollectiveResult:
     """Combine an ``message_elems`` operand from every node at ``root`` (SBT)."""
     packet_elems = message_elems if packet_elems is None else packet_elems
-    sched = sbt_reduce_schedule(cube, root, message_elems, packet_elems, port_model)
+    collector = RunCollector("reduce", "sbt")
+    with collector.phase("schedule"):
+        sched = sbt_reduce_schedule(
+            cube, root, message_elems, packet_elems, port_model
+        )
     initial = reduce_initial_holdings(cube, message_elems, packet_elems)
-    return _run(cube, sched, port_model, initial, machine, run_event_sim)
+    result = _run(
+        cube, sched, port_model, initial, machine, run_event_sim,
+        collector=collector,
+    )
+    collector.finalize(result)
+    return result
 
 
 def allreduce(
@@ -500,12 +556,18 @@ def allgather(
     run_event_sim: bool = False,
 ) -> CollectiveResult:
     """All-to-all broadcast: every node ends holding every contribution."""
-    sched = allgather_schedule(cube, message_elems, port_model)
+    collector = RunCollector("allgather", "dimension-exchange")
+    with collector.phase("schedule"):
+        sched = allgather_schedule(cube, message_elems, port_model)
     initial = allgather_initial_holdings(cube)
-    result = _run(cube, sched, port_model, initial, machine, run_event_sim)
+    result = _run(
+        cube, sched, port_model, initial, machine, run_event_sim,
+        collector=collector,
+    )
     for v in cube.nodes():
         if len(result.sync.holdings[v]) != cube.num_nodes:
             raise AssertionError(f"allgather incomplete at node {v}")
+    collector.finalize(result)
     return result
 
 
@@ -524,25 +586,31 @@ def alltoall_personalized(
     extension, which is about ``log N`` times faster in transfer time
     under the all-port model (and requires it).
     """
-    if algorithm == "dimension-exchange":
-        sched = alltoall_personalized_schedule(cube, message_elems, port_model)
-    elif algorithm == "bst":
-        if port_model is not PortModel.ALL_PORT:
-            raise ValueError("the N-BST total exchange requires the all-port model")
-        from repro.routing.alltoall import alltoall_bst_schedule
+    collector = RunCollector("alltoall", algorithm)
+    with collector.phase("schedule"):
+        if algorithm == "dimension-exchange":
+            sched = alltoall_personalized_schedule(cube, message_elems, port_model)
+        elif algorithm == "bst":
+            if port_model is not PortModel.ALL_PORT:
+                raise ValueError("the N-BST total exchange requires the all-port model")
+            from repro.routing.alltoall import alltoall_bst_schedule
 
-        sched = alltoall_bst_schedule(cube, message_elems)
-    else:
-        raise ValueError(
-            f"unknown total-exchange algorithm {algorithm!r}; "
-            "pick 'dimension-exchange' or 'bst'"
-        )
+            sched = alltoall_bst_schedule(cube, message_elems)
+        else:
+            raise ValueError(
+                f"unknown total-exchange algorithm {algorithm!r}; "
+                "pick 'dimension-exchange' or 'bst'"
+            )
     initial = alltoall_initial_holdings(cube)
-    result = _run(cube, sched, port_model, initial, machine, run_event_sim)
+    result = _run(
+        cube, sched, port_model, initial, machine, run_event_sim,
+        collector=collector,
+    )
     for v in cube.nodes():
         got = {c for c in result.sync.holdings[v] if c[2] == v}
         if len(got) != cube.num_nodes - 1:
             raise AssertionError(f"total exchange incomplete at node {v}")
+    collector.finalize(result)
     return result
 
 

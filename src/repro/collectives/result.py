@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.sim.engine import AsyncResult
 from repro.sim.faults import DegradedResult, FaultPlan
@@ -30,6 +31,11 @@ class CollectiveResult:
             (dead, or cut off from the source by the faults); empty
             unless the fault set exceeds the ``log N - 1`` tolerance
             bound and ``on_fault="report"`` was requested.
+        metrics: per-run observability snapshot — phase timings,
+            canonical packet/element/link counts derived from the
+            executed backend, and the registry counter deltas the run
+            caused (see :class:`repro.obs.RunCollector`).  Empty when
+            the metrics registry is disabled.
     """
 
     schedule: Schedule
@@ -37,6 +43,7 @@ class CollectiveResult:
     async_: AsyncResult | DegradedResult | None = None
     faults: FaultPlan | None = None
     undelivered_nodes: frozenset[int] = field(default_factory=frozenset)
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:

@@ -45,8 +45,8 @@ from itertools import product
 from math import ceil
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.cache import cache_stats
 from repro.cache.disk import configure_disk, disk_cache
+from repro.obs.instruments import CACHE_OPS, sweep_finished
 from repro.sim.trace import LinkStats
 
 __all__ = [
@@ -245,15 +245,29 @@ class SweepResult:
 
 
 def _cache_totals() -> tuple[int, int, int, int]:
-    """(lru hits, lru misses, disk hits, disk misses) registry sums."""
+    """(lru hits, lru misses, disk hits, disk misses) registry sums.
+
+    Read from the observability registry's ``repro_cache_ops_total``
+    series rather than the live cache objects: the series survive a
+    cache being re-created under the same name mid-point (the fork
+    start method hands workers a copy of the parent's cache registry,
+    and re-registration used to make before/after snapshots disagree
+    about which object's counters they were diffing).  One code path
+    serves process-pool workers and in-process sweeps alike.
+    """
     lru_h = lru_m = disk_h = disk_m = 0
-    for name, stats in cache_stats().items():
-        if name.startswith("cache.disk."):
-            disk_h += stats.get("hits", 0) or 0
-            disk_m += stats.get("misses", 0) or 0
-        else:
-            lru_h += stats.get("hits", 0) or 0
-            lru_m += stats.get("misses", 0) or 0
+    for series in CACHE_OPS.series():
+        op = series.labels["op"]
+        if op == "hit":
+            if series.labels["cache"].startswith("cache.disk."):
+                disk_h += series.value
+            else:
+                lru_h += series.value
+        elif op == "miss":
+            if series.labels["cache"].startswith("cache.disk."):
+                disk_m += series.value
+            else:
+                lru_m += series.value
     return lru_h, lru_m, disk_h, disk_m
 
 
@@ -354,6 +368,7 @@ def run_sweep(
             wall_s=time.perf_counter() - t0,
             points=point_stats,
         )
+        sweep_finished(stats)
         return SweepResult(values=values, stats=stats)
 
 
@@ -377,4 +392,5 @@ def _run_serial(
         wall_s=time.perf_counter() - t0,
         points=point_stats,
     )
+    sweep_finished(stats)
     return SweepResult(values=values, stats=stats)

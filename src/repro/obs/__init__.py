@@ -1,0 +1,81 @@
+"""repro.obs — unified observability: metrics, logs, profiling.
+
+One layer serves every subsystem:
+
+* :mod:`~repro.obs.registry` — a zero-dependency metrics registry
+  (counters, gauges, cumulative-bucket histograms, labeled series)
+  whose disabled cost is a single flag check per operation;
+* :mod:`~repro.obs.instruments` — the library's built-in instruments
+  (engine events/transfers, runtime packets/repairs, cache ops, sweep
+  timings) plus the once-per-run flush helpers the hot paths call;
+* :mod:`~repro.obs.log` — a structured-logging facade emitting one
+  JSON object per line with bound run/collective/node context,
+  inactive until :func:`configure_logging` names a sink;
+* :mod:`~repro.obs.profiling` — wall/CPU timers and an opt-in
+  ``cProfile`` capture (``repro broadcast --profile``);
+* :mod:`~repro.obs.export` — Prometheus text exposition and JSON
+  snapshots (``--metrics-json``, the CI perf artifacts);
+* :mod:`~repro.obs.runs` — the per-collective collector behind
+  ``CollectiveResult.metrics``.
+
+Environment:
+    ``REPRO_OBS=0`` (or ``off``/``false``/``no``) disables metric
+    recording (read at import; change later with
+    ``REGISTRY.configure``).  ``always=True`` instruments — the cache
+    counters backing ``repro.cache.cache_stats()`` — keep counting
+    regardless.
+"""
+
+from repro.obs.export import (
+    parse_prometheus,
+    snapshot,
+    to_prometheus,
+    write_metrics_json,
+)
+from repro.obs.log import (
+    JsonLogger,
+    configure_logging,
+    get_logger,
+    logging_enabled,
+)
+from repro.obs.profiling import (
+    ProfileReport,
+    Timer,
+    cpu_timer,
+    profiled,
+    wall_timer,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObsError,
+)
+from repro.obs.runs import RunCollector
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonLogger",
+    "MetricsRegistry",
+    "ObsError",
+    "ProfileReport",
+    "REGISTRY",
+    "RunCollector",
+    "Timer",
+    "configure_logging",
+    "cpu_timer",
+    "get_logger",
+    "logging_enabled",
+    "parse_prometheus",
+    "profiled",
+    "snapshot",
+    "to_prometheus",
+    "wall_timer",
+    "write_metrics_json",
+]

@@ -1,0 +1,202 @@
+"""Metric exporters: Prometheus text format and JSON snapshots.
+
+Two serializations of a :class:`~repro.obs.registry.MetricsRegistry`:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` samples,
+  histogram ``_bucket``/``_sum``/``_count`` expansion).  A minimal
+  :func:`parse_prometheus` reads it back, so round-tripping is testable
+  without a Prometheus server.
+* :func:`snapshot` — a nested JSON-serializable dict (what the CLI's
+  ``--metrics-json`` writes, and what CI uploads as the per-PR perf
+  artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, IO
+
+from repro.obs.registry import (
+    REGISTRY,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "to_prometheus",
+    "parse_prometheus",
+    "snapshot",
+    "write_metrics_json",
+]
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: dict[str, str], extra: tuple[str, str] | None = None) -> str:
+    items = list(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """The registry in Prometheus text exposition format."""
+    registry = registry or REGISTRY
+    lines: list[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if isinstance(family, Histogram):
+            for series in family.series():
+                for upper, cum in series.cumulative_buckets():
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_label_str(series.labels, ('le', _fmt_value(upper)))}"
+                        f" {cum}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_label_str(series.labels)} "
+                    f"{_fmt_value(series.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_label_str(series.labels)} "
+                    f"{series.count}"
+                )
+        else:
+            for series in family.series():
+                lines.append(
+                    f"{family.name}{_label_str(series.labels)} "
+                    f"{_fmt_value(series.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(
+    text: str,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition-format text back into ``(name, labels) -> value``.
+
+    Labels are returned as a sorted tuple of ``(key, value)`` pairs, so
+    lookups are order-independent.  Covers the subset
+    :func:`to_prometheus` emits (which is also the subset real
+    Prometheus clients produce for counters/gauges/histograms).
+    """
+    out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            labelpart, valuepart = rest.rsplit("}", 1)
+            labels = tuple(sorted(_parse_labels(labelpart)))
+        else:
+            name, valuepart = line.split(None, 1)
+            labels = ()
+        value = valuepart.strip()
+        out[(name, labels)] = (
+            math.inf if value == "+Inf" else float(value)
+        )
+    return out
+
+
+def _parse_labels(labelpart: str) -> list[tuple[str, str]]:
+    pairs: list[tuple[str, str]] = []
+    i = 0
+    n = len(labelpart)
+    while i < n:
+        eq = labelpart.index("=", i)
+        key = labelpart[i:eq].strip().lstrip(",").strip()
+        assert labelpart[eq + 1] == '"', "label values must be quoted"
+        j = eq + 2
+        buf = []
+        while labelpart[j] != '"':
+            if labelpart[j] == "\\":
+                nxt = labelpart[j + 1]
+                buf.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+                j += 2
+            else:
+                buf.append(labelpart[j])
+                j += 1
+        pairs.append((key, "".join(buf)))
+        i = j + 1
+    return pairs
+
+
+def snapshot(registry: MetricsRegistry | None = None) -> dict[str, Any]:
+    """The registry as a JSON-serializable nested dict.
+
+    Shape::
+
+        {family: {"type": ..., "help": ..., "series": [
+            {"labels": {...}, "value": v}                  # counter/gauge
+            {"labels": {...}, "count": n, "sum": s,
+             "buckets": {"0.005": 3, ..., "+Inf": 9}}      # histogram
+        ]}}
+    """
+    registry = registry or REGISTRY
+    out: dict[str, Any] = {}
+    for family in registry.collect():
+        series_out = []
+        for series in family.series():
+            entry: dict[str, Any] = {"labels": dict(series.labels)}
+            if isinstance(family, Histogram):
+                entry["count"] = series.count
+                entry["sum"] = series.sum
+                entry["buckets"] = {
+                    _fmt_value(upper): cum
+                    for upper, cum in series.cumulative_buckets()
+                }
+            else:
+                entry["value"] = series.value
+            series_out.append(entry)
+        out[family.name] = {
+            "type": family.kind,
+            "help": family.help,
+            "series": series_out,
+        }
+    return out
+
+
+def write_metrics_json(
+    target: str | os.PathLike | IO[str],
+    extra: dict[str, Any] | None = None,
+    registry: MetricsRegistry | None = None,
+) -> dict[str, Any]:
+    """Write ``{"registry": snapshot(), **extra}`` to ``target`` as JSON.
+
+    ``target`` may be a path, ``"-"`` for stdout, or a writable stream.
+    Returns the document written.
+    """
+    doc: dict[str, Any] = dict(extra or {})
+    doc["registry"] = snapshot(registry)
+    if target == "-":
+        import sys
+
+        json.dump(doc, sys.stdout, indent=2, default=str)
+        sys.stdout.write("\n")
+    elif hasattr(target, "write"):
+        json.dump(doc, target, indent=2, default=str)  # type: ignore[arg-type]
+    else:
+        with open(target, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2, default=str)
+    return doc

@@ -1,0 +1,267 @@
+"""The library's built-in instruments and per-subsystem flush helpers.
+
+Every instrumented layer shares the instruments defined here (all in
+the default :data:`~repro.obs.registry.REGISTRY`):
+
+* **engines** — the event engine and the lock-step engine accumulate
+  into *local* variables during a run and call
+  :func:`engine_run_finished` once at the end, so the hot loops gain
+  nothing but integer increments;
+* **runtime** — the actor kernel flushes through
+  :func:`runtime_run_finished` when a cluster run completes;
+* **caches** — the LRU and disk layers update the ``always=True``
+  cache counters synchronously (they double as the functional
+  ``cache_stats()`` API, so they keep counting while telemetry is
+  disabled);
+* **sweeps** — the executor folds its per-point telemetry in through
+  :func:`sweep_finished`, including the worker-process cache deltas
+  that would otherwise die with the pool.
+
+Naming follows Prometheus conventions: ``repro_`` prefix, ``_total``
+suffix on counters, ``_seconds`` on timings.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.registry import REGISTRY
+
+__all__ = [
+    "CACHE_OPS",
+    "CACHE_DISK_BYTES",
+    "COLLECTIVE_PHASE_SECONDS",
+    "COLLECTIVE_RUNS",
+    "ENGINE_ADMISSION_BLOCKS",
+    "ENGINE_DEADLOCKS",
+    "ENGINE_ELEMS",
+    "ENGINE_EVENTS",
+    "ENGINE_FAULTED_TRANSFERS",
+    "ENGINE_RUN_SECONDS",
+    "ENGINE_TRANSFERS",
+    "RUNTIME_ELEMS",
+    "RUNTIME_FAULTED_TRANSFERS",
+    "RUNTIME_PACKETS",
+    "RUNTIME_REPAIR_ROUNDS",
+    "RUNTIME_RUN_SECONDS",
+    "RUNTIME_TIMEOUTS",
+    "SWEEP_CACHE_OPS",
+    "SWEEP_POINT_SECONDS",
+    "SWEEP_POINTS",
+    "SWEEP_RUNS",
+    "SWEEP_WALL_SECONDS",
+    "SWEEP_WORKER_UTILIZATION",
+    "engine_run_finished",
+    "runtime_run_finished",
+    "sweep_finished",
+]
+
+# -- engines ----------------------------------------------------------
+
+ENGINE_EVENTS = REGISTRY.counter(
+    "repro_engine_events_total",
+    "Event-loop examinations processed by the async engine.",
+    ("engine",),
+)
+ENGINE_TRANSFERS = REGISTRY.counter(
+    "repro_engine_transfers_total",
+    "Transfers (packets) executed by the simulation engines.",
+    ("engine", "port_model"),
+)
+ENGINE_ELEMS = REGISTRY.counter(
+    "repro_engine_elems_total",
+    "Elements moved by the simulation engines.",
+    ("engine", "port_model"),
+)
+ENGINE_ADMISSION_BLOCKS = REGISTRY.counter(
+    "repro_engine_admission_blocks_total",
+    "Transfer starts deferred by port-model admission or link serialization.",
+    ("engine", "port_model"),
+)
+ENGINE_DEADLOCKS = REGISTRY.counter(
+    "repro_engine_deadlocks_total",
+    "Runs terminated by a deadlock diagnosis.",
+    ("engine",),
+)
+ENGINE_FAULTED_TRANSFERS = REGISTRY.counter(
+    "repro_engine_faulted_transfers_total",
+    "Transfers cancelled by dead links/nodes (report mode).",
+    ("engine",),
+)
+ENGINE_RUN_SECONDS = REGISTRY.histogram(
+    "repro_engine_run_seconds",
+    "Wall-clock seconds per engine run.",
+    ("engine",),
+)
+
+# -- actor runtime ----------------------------------------------------
+
+RUNTIME_PACKETS = REGISTRY.counter(
+    "repro_runtime_packets_total",
+    "Packets the actor runtime moved (each is one send and one receive).",
+)
+RUNTIME_ELEMS = REGISTRY.counter(
+    "repro_runtime_elems_total",
+    "Elements the actor runtime moved.",
+)
+RUNTIME_TIMEOUTS = REGISTRY.counter(
+    "repro_runtime_receive_timeouts_total",
+    "Receive timeouts fired on starved actors (repair mode).",
+)
+RUNTIME_REPAIR_ROUNDS = REGISTRY.counter(
+    "repro_runtime_repair_rounds_total",
+    "Survivor-tree repair rounds executed.",
+)
+RUNTIME_FAULTED_TRANSFERS = REGISTRY.counter(
+    "repro_runtime_faulted_transfers_total",
+    "Runtime sends lost to dead links/nodes.",
+)
+RUNTIME_RUN_SECONDS = REGISTRY.histogram(
+    "repro_runtime_run_seconds",
+    "Wall-clock seconds per virtual-cluster run.",
+)
+
+# -- caches (always-on: these back repro.cache.cache_stats()) ---------
+
+CACHE_OPS = REGISTRY.counter(
+    "repro_cache_ops_total",
+    "Cache operations per cache instance (hit/miss/eviction/store/error).",
+    ("cache", "op"),
+    always=True,
+)
+CACHE_DISK_BYTES = REGISTRY.counter(
+    "repro_cache_disk_bytes_total",
+    "Bytes read from / written to the on-disk cache layer.",
+    ("cache", "direction"),
+    always=True,
+)
+
+# -- sweep executor ---------------------------------------------------
+
+SWEEP_RUNS = REGISTRY.counter(
+    "repro_sweep_runs_total",
+    "Sweeps executed.",
+    ("executor",),
+)
+SWEEP_POINTS = REGISTRY.counter(
+    "repro_sweep_points_total",
+    "Sweep points executed.",
+    ("executor",),
+)
+SWEEP_POINT_SECONDS = REGISTRY.histogram(
+    "repro_sweep_point_seconds",
+    "Per-point wall-clock seconds (measured inside the worker).",
+)
+SWEEP_WALL_SECONDS = REGISTRY.histogram(
+    "repro_sweep_wall_seconds",
+    "End-to-end wall-clock seconds per sweep.",
+)
+SWEEP_WORKER_UTILIZATION = REGISTRY.gauge(
+    "repro_sweep_worker_utilization",
+    "point_wall_s / (wall_s * jobs) of the most recent sweep.",
+)
+SWEEP_CACHE_OPS = REGISTRY.counter(
+    "repro_sweep_cache_ops_total",
+    "Cache ops summed over sweep workers (their registries die with the pool).",
+    ("layer", "op"),
+)
+
+# -- collectives ------------------------------------------------------
+
+COLLECTIVE_RUNS = REGISTRY.counter(
+    "repro_collective_runs_total",
+    "High-level collective operations executed.",
+    ("op", "algorithm", "backend"),
+)
+COLLECTIVE_PHASE_SECONDS = REGISTRY.histogram(
+    "repro_collective_phase_seconds",
+    "Wall-clock seconds per collective phase (schedule/sync/async/runtime).",
+    ("phase",),
+)
+
+
+def engine_run_finished(
+    engine: str,
+    port_model: Any,
+    *,
+    transfers: int,
+    elems: int,
+    seconds: float,
+    events: int = 0,
+    admission_blocks: int = 0,
+    faulted: int = 0,
+    deadlocked: bool = False,
+) -> None:
+    """Flush one engine run's locally accumulated counters.
+
+    Called once per :func:`repro.sim.engine.run_async` /
+    :func:`repro.sim.synchronous.run_synchronous` invocation (including
+    aborted ones), so the engines' inner loops never touch the registry.
+    """
+    if not REGISTRY.enabled:
+        return
+    pm = getattr(port_model, "value", str(port_model))
+    ENGINE_TRANSFERS.labels(engine=engine, port_model=pm).inc(transfers)
+    ENGINE_ELEMS.labels(engine=engine, port_model=pm).inc(elems)
+    if events:
+        ENGINE_EVENTS.labels(engine=engine).inc(events)
+    if admission_blocks:
+        ENGINE_ADMISSION_BLOCKS.labels(engine=engine, port_model=pm).inc(
+            admission_blocks
+        )
+    if faulted:
+        ENGINE_FAULTED_TRANSFERS.labels(engine=engine).inc(faulted)
+    if deadlocked:
+        ENGINE_DEADLOCKS.labels(engine=engine).inc()
+    ENGINE_RUN_SECONDS.labels(engine=engine).observe(seconds)
+
+
+def runtime_run_finished(
+    *,
+    packets: int,
+    elems: int,
+    seconds: float,
+    timeouts: int = 0,
+    repair_rounds: int = 0,
+    faulted: int = 0,
+) -> None:
+    """Flush one virtual-cluster run's counters (called by the kernel)."""
+    if not REGISTRY.enabled:
+        return
+    RUNTIME_PACKETS.inc(packets)
+    RUNTIME_ELEMS.inc(elems)
+    if timeouts:
+        RUNTIME_TIMEOUTS.inc(timeouts)
+    if repair_rounds:
+        RUNTIME_REPAIR_ROUNDS.inc(repair_rounds)
+    if faulted:
+        RUNTIME_FAULTED_TRANSFERS.inc(faulted)
+    RUNTIME_RUN_SECONDS.observe(seconds)
+
+
+def sweep_finished(stats: Any) -> None:
+    """Flush one sweep execution's telemetry (a ``SweepStats``-like).
+
+    The per-point cache deltas were measured inside the worker
+    processes; folding them into ``SWEEP_CACHE_OPS`` here is what keeps
+    them visible after the pool exits.
+    """
+    if not REGISTRY.enabled:
+        return
+    SWEEP_RUNS.labels(executor=stats.executor).inc()
+    SWEEP_POINTS.labels(executor=stats.executor).inc(stats.num_points)
+    for point in stats.points:
+        SWEEP_POINT_SECONDS.observe(point.wall_s)
+    SWEEP_WALL_SECONDS.observe(stats.wall_s)
+    if stats.wall_s > 0 and stats.jobs > 0:
+        SWEEP_WORKER_UTILIZATION.set(
+            min(1.0, stats.point_wall_s / (stats.wall_s * stats.jobs))
+        )
+    for layer, hits, misses in (
+        ("lru", stats.lru_hits, stats.lru_misses),
+        ("disk", stats.disk_hits, stats.disk_misses),
+    ):
+        if hits:
+            SWEEP_CACHE_OPS.labels(layer=layer, op="hit").inc(hits)
+        if misses:
+            SWEEP_CACHE_OPS.labels(layer=layer, op="miss").inc(misses)

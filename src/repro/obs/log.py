@@ -1,0 +1,139 @@
+"""Structured-logging facade: JSON lines with bound context.
+
+The library logs *events*, not strings: every record is one JSON object
+per line carrying a timestamp, a level, an event name, and whatever
+context was bound when the logger was created (run id, collective,
+node, ...).  There is no sink by default — :func:`get_logger` hands out
+loggers whose emit path is a single ``None`` check until
+:func:`configure_logging` points the facade at a file, a stream, or
+``"-"`` (stdout).  That keeps logging free for library users who never
+opt in, while ``repro ... --log-json PATH`` turns the same call sites
+into a machine-readable run journal.
+
+Context composes: ``get_logger(run="r1").bind(node=3)`` yields a logger
+whose records carry both fields.  Sinks are resolved at emit time, so
+loggers created before :func:`configure_logging` start emitting the
+moment a sink exists.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import time
+from typing import Any, IO
+
+__all__ = [
+    "JsonLogger",
+    "configure_logging",
+    "get_logger",
+    "logging_enabled",
+]
+
+#: the active sink (file object) or None; module-global so that loggers
+#: bound before configuration pick the sink up at emit time
+_SINK: IO[str] | None = None
+#: True when configure_logging opened the file itself (so it may close it)
+_OWNS_SINK = False
+
+
+def configure_logging(target: str | IO[str] | None) -> None:
+    """Point the facade at ``target``; ``None`` disables logging.
+
+    ``target`` may be a path (opened for append), ``"-"`` for stdout,
+    or any writable text stream.  A previously opened file sink is
+    closed when replaced.
+    """
+    global _SINK, _OWNS_SINK
+    if _OWNS_SINK and _SINK is not None:
+        try:
+            _SINK.close()
+        except OSError:  # pragma: no cover - close failure is harmless
+            pass
+    _OWNS_SINK = False
+    if target is None:
+        _SINK = None
+    elif target == "-":
+        _SINK = sys.stdout
+    elif isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
+        _SINK = open(target, "a", encoding="utf-8")
+        _OWNS_SINK = True
+    elif isinstance(target, io.TextIOBase) or hasattr(target, "write"):
+        _SINK = target
+    else:
+        raise TypeError(f"cannot log to {target!r}")
+
+
+def logging_enabled() -> bool:
+    """True when a sink is configured."""
+    return _SINK is not None
+
+
+class JsonLogger:
+    """A logger with bound context emitting one JSON object per line."""
+
+    __slots__ = ("_context",)
+
+    def __init__(self, context: dict[str, Any] | None = None):
+        self._context = context or {}
+
+    def bind(self, **context: Any) -> "JsonLogger":
+        """A child logger carrying these extra fields on every record."""
+        merged = dict(self._context)
+        merged.update(context)
+        return JsonLogger(merged)
+
+    @property
+    def context(self) -> dict[str, Any]:
+        """The fields bound to this logger (copy)."""
+        return dict(self._context)
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Emit one record; a no-op while no sink is configured."""
+        sink = _SINK
+        if sink is None:
+            return
+        record: dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "event": event,
+        }
+        record.update(self._context)
+        record.update(fields)
+        try:
+            sink.write(json.dumps(record, default=_json_default) + "\n")
+            sink.flush()
+        except (OSError, ValueError):  # pragma: no cover - dead sink
+            pass
+
+    def debug(self, event: str, **fields: Any) -> None:
+        """Emit at level ``debug``."""
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        """Emit at level ``info``."""
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        """Emit at level ``warning``."""
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        """Emit at level ``error``."""
+        self.log("error", event, **fields)
+
+
+def _json_default(value: Any) -> Any:
+    """Fallback serializer: sets become sorted lists, the rest repr."""
+    if isinstance(value, (set, frozenset)):
+        try:
+            return sorted(value)
+        except TypeError:
+            return sorted(value, key=repr)
+    return repr(value)
+
+
+def get_logger(**context: Any) -> JsonLogger:
+    """A logger carrying ``context`` on every record."""
+    return JsonLogger(dict(context))

@@ -1,0 +1,117 @@
+"""Profiling hooks: wall/CPU timers and optional cProfile capture.
+
+Two granularities:
+
+* :func:`wall_timer` / :func:`cpu_timer` — cheap context managers for
+  phase-level timing; the run collector (:mod:`repro.obs.runs`) uses
+  them for its per-phase breakdown.
+* :func:`profiled` — a full ``cProfile`` capture around a block (one
+  collective, one sweep target) yielding a :class:`ProfileReport` whose
+  text/top-function views the CLI's ``--profile`` flag writes out.
+
+The cProfile capture is opt-in per call site: nothing in the library
+profiles unless asked, so the hooks cost nothing when unused.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Timer", "ProfileReport", "wall_timer", "cpu_timer", "profiled"]
+
+
+class Timer:
+    """Elapsed-time holder filled in by the timer context managers."""
+
+    __slots__ = ("_clock", "_t0", "elapsed")
+
+    def __init__(self, clock):
+        self._clock = clock
+        self._t0 = clock()
+        #: seconds measured between entering and leaving the block
+        self.elapsed: float = 0.0
+
+    def stop(self) -> float:
+        """Freeze and return the elapsed time."""
+        self.elapsed = self._clock() - self._t0
+        return self.elapsed
+
+
+@contextmanager
+def wall_timer() -> Iterator[Timer]:
+    """Time a block in wall-clock seconds (``perf_counter``)."""
+    timer = Timer(time.perf_counter)
+    try:
+        yield timer
+    finally:
+        timer.stop()
+
+
+@contextmanager
+def cpu_timer() -> Iterator[Timer]:
+    """Time a block in process CPU seconds (``process_time``)."""
+    timer = Timer(time.process_time)
+    try:
+        yield timer
+    finally:
+        timer.stop()
+
+
+class ProfileReport:
+    """Holds a finished ``cProfile`` run and renders it on demand."""
+
+    def __init__(self) -> None:
+        self._profile: cProfile.Profile | None = None
+
+    def _stats(self, sort: str) -> pstats.Stats:
+        if self._profile is None:
+            raise RuntimeError("the profiled block has not finished yet")
+        return pstats.Stats(self._profile).sort_stats(sort)
+
+    def text(self, limit: int = 30, sort: str = "cumulative") -> str:
+        """The pstats table as text, top ``limit`` entries."""
+        buf = io.StringIO()
+        stats = self._stats(sort)
+        stats.stream = buf  # type: ignore[attr-defined]
+        stats.print_stats(limit)
+        return buf.getvalue()
+
+    def top_functions(self, limit: int = 10) -> list[tuple[str, float]]:
+        """``(function, cumulative seconds)`` pairs, heaviest first."""
+        stats = self._stats("cumulative")
+        rows = []
+        for func, (_cc, _nc, _tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+            filename, line, name = func
+            rows.append((f"{filename}:{line}({name})", ct))
+        rows.sort(key=lambda r: -r[1])
+        return rows[:limit]
+
+
+@contextmanager
+def profiled() -> Iterator[ProfileReport]:
+    """Capture a ``cProfile`` of the block; yields a report.
+
+    The report is usable after the block exits::
+
+        with profiled() as prof:
+            broadcast(cube, 0, "msbt", 4096, 256)
+        print(prof.text(20))
+    """
+    report = ProfileReport()
+    profile = cProfile.Profile()
+    try:
+        profile.enable()
+    except ValueError:  # another profiler is active (e.g. coverage)
+        yield report
+        report._profile = cProfile.Profile()  # empty but renderable
+        return
+    try:
+        yield report
+    finally:
+        profile.disable()
+        report._profile = profile

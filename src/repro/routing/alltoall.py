@@ -180,7 +180,6 @@ def alltoall_bst_schedule(
     from repro.sim.schedule import Transfer as _Transfer
     from repro.trees.bst import BalancedSpanningTree
 
-    n = cube.dimension
     base_tree = cached_tree(BalancedSpanningTree, cube, 0)
     height = base_tree.height
     sizes: dict[Chunk, int] = {}

@@ -40,7 +40,9 @@ import asyncio
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 
+from repro.obs.instruments import runtime_run_finished
 from repro.routing.fault_aware import survivor_broadcast_tree
 from repro.routing.scheduler import greedy_partition
 from repro.runtime.channels import PortAdmission
@@ -494,6 +496,7 @@ class VirtualCluster:
             for node, prog in program.programs.items()
         }
         self.repair_rounds = 0
+        self.receive_timeouts = 0
 
     # -- message plane (zero virtual cost, in-instant) ----------------
 
@@ -507,7 +510,23 @@ class VirtualCluster:
 
     def run(self) -> RuntimeResult | DegradedResult:
         """Execute the collective; blocking wrapper over asyncio."""
-        return asyncio.run(self._execute())
+        t0 = perf_counter()
+        try:
+            return asyncio.run(self._execute())
+        finally:
+            # Flushed on every exit (FaultError and deadlock included);
+            # the kernel state carries whatever actually ran.
+            kernel = self.kernel
+            runtime_run_finished(
+                packets=len(kernel.start_times),
+                elems=sum(
+                    a.stats.total_elems() for a in self.actors.values()
+                ),
+                seconds=perf_counter() - t0,
+                timeouts=self.receive_timeouts,
+                repair_rounds=self.repair_rounds,
+                faulted=len(kernel.lost),
+            )
 
     async def _execute(self) -> RuntimeResult | DegradedResult:
         tasks = [
@@ -568,6 +587,7 @@ class VirtualCluster:
                 kernel.clock.now, [a.node for a in incomplete]
             )
         self.post(self.program.source, ("expect-reports", len(incomplete)))
+        self.receive_timeouts += len(incomplete)
         for actor in incomplete:
             self.post(actor.node, ("timeout",))
         await kernel.wait_quiescent()

@@ -459,10 +459,10 @@ def _wave_scatter(
     # (step, u, v) -> pieces crossing that edge in that step
     bundles: dict[tuple[int, int, int], set[Chunk]] = {}
     for d, path in paths.items():
-        l = len(path) - 1
-        depart = height - l
+        hops = len(path) - 1
+        depart = height - hops
         pieces = frozenset(_piece_sizes(d, message_elems, packet_elems))
-        for h in range(l):
+        for h in range(hops):
             bundles.setdefault((depart + h, path[h], path[h + 1]), set()).update(
                 pieces
             )

@@ -26,7 +26,6 @@ from repro.routing import (
     sbt_broadcast_schedule,
     sbt_scatter_schedule,
 )
-from repro.routing.common import scatter_chunks
 from repro.runtime.actors import run_collective
 from repro.sim.engine import run_async
 from repro.sim.machine import MachineParams

@@ -47,7 +47,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 
+from repro.obs.instruments import engine_run_finished
 from repro.sim.faults import (
     DegradedResult,
     FaultError,
@@ -219,6 +221,25 @@ def run_async(
     cur_pass = 0
     cur_idx = -1
 
+    # Telemetry accumulates in locals and flushes once per run (every
+    # exit path calls _flush), keeping the event loop free of registry
+    # work.
+    t0 = perf_counter()
+    events_n = 0
+    blocks_n = 0
+
+    def _flush(deadlocked: bool = False) -> None:
+        engine_run_finished(
+            "async", port_model,
+            transfers=len(start_times),
+            elems=stats.total_elems(),
+            seconds=perf_counter() - t0,
+            events=events_n,
+            admission_blocks=blocks_n,
+            faulted=len(lost),
+            deadlocked=deadlocked,
+        )
+
     # Future examinations live in `events`, a heap of (time, pass, idx).
     # Examinations due at the current instant (all times within _EPS of
     # `now` count as one instant, exactly like the reference engine's
@@ -312,6 +333,7 @@ def run_async(
                 stuck = [
                     transfers[i] for i in range(n_transfers) if not done[i]
                 ][:4]
+                _flush(deadlocked=True)
                 raise RuntimeError(
                     f"schedule deadlocked with {remaining} transfers pending, "
                     f"e.g. {stuck}"
@@ -331,6 +353,7 @@ def run_async(
                 heapq.heappush(batch, (p2, idx2, te2))
 
         p, idx, te = heapq.heappop(batch)
+        events_n += 1
         if done[idx]:
             continue
         sc = scheduled[idx]
@@ -370,6 +393,7 @@ def run_async(
         if lf is not None and lf > start:
             start = lf
         if start > now + _EPS:
+            blocks_n += 1
             if not allport:
                 _send_channel(t.src).blocked.add(idx)
                 _recv_channel(t.dst).blocked.add(idx)
@@ -381,6 +405,7 @@ def run_async(
             if hit is not None:
                 kind, subject = hit
                 if on_fault == "raise":
+                    _flush()
                     raise FaultError(
                         f"transfer {t.src}->{t.dst} blocked by dead {kind} "
                         f"{subject} at t={start:.6g}; pending chunks "
@@ -438,6 +463,7 @@ def run_async(
 
     if fault_events or remaining:
         lost.extend(transfers[i] for i in range(n_transfers) if not done[i])
+        _flush()
         return DegradedResult(
             time=finish,
             holdings=holdings,
@@ -449,6 +475,7 @@ def run_async(
             start_times=start_times,
         )
 
+    _flush()
     return AsyncResult(
         time=finish,
         holdings=holdings,

@@ -21,12 +21,14 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from time import perf_counter
 
 try:  # the vectorized constraint fast path is optional
     import numpy as _np
 except ImportError:  # pragma: no cover - numpy is a standard dependency
     _np = None
 
+from repro.obs.instruments import engine_run_finished
 from repro.sim.faults import (
     DegradedResult,
     FaultError,
@@ -216,6 +218,19 @@ def run_synchronous(
     cycles = 0
     elapsed = 0.0
 
+    # One flush per run on every exit path; the round loop only touches
+    # plain locals.
+    t0 = perf_counter()
+
+    def _flush() -> None:
+        engine_run_finished(
+            "sync", port_model,
+            transfers=executed,
+            elems=stats.total_elems(),
+            seconds=perf_counter() - t0,
+            faulted=len(lost),
+        )
+
     for r_idx, round_transfers in enumerate(schedule.rounds):
         if not round_transfers:
             continue
@@ -228,6 +243,7 @@ def run_synchronous(
                     continue
                 kind, subject = hit
                 if on_fault == "raise":
+                    _flush()
                     raise FaultError(
                         f"round {r_idx}: transfer {t.src}->{t.dst} blocked by "
                         f"dead {kind} {subject} at t={elapsed:.6g}; pending "
@@ -274,6 +290,7 @@ def run_synchronous(
         step_costs.append(machine.send_cost(biggest))
         elapsed += step_costs[-1]
 
+    _flush()
     if lost or fault_events:
         return DegradedResult(
             time=sum(step_costs),

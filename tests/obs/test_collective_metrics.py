@@ -1,0 +1,103 @@
+"""``CollectiveResult.metrics``: phases, canonical counts, backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import broadcast, scatter
+from repro.obs import REGISTRY
+from repro.topology import Hypercube
+
+
+@pytest.fixture(autouse=True)
+def _enabled_registry():
+    prev = REGISTRY.enabled
+    REGISTRY.configure(enabled=True)
+    yield
+    REGISTRY.configure(enabled=prev)
+
+
+#: the canonical traffic numbers both backends must agree on
+CANONICAL = ("packets_sent", "elems_sent", "links_used")
+
+
+class TestSimMetrics:
+    def test_broadcast_metrics_populated(self):
+        r = broadcast(Hypercube(4), 0, "msbt", 64, 8)
+        m = r.metrics
+        assert m["op"] == "broadcast"
+        assert m["algorithm"] == "msbt"
+        assert m["backend"] == "sim"
+        assert m["packets_sent"] > 0
+        assert m["elems_sent"] > 0
+        assert m["links_used"] > 0
+        assert m["cycles"] == r.cycles
+        assert m["wall_s"] > 0
+        assert not m["degraded"]
+
+    def test_phases_cover_schedule_and_sync(self):
+        m = broadcast(Hypercube(4), 0, "sbt", 16, 4).metrics
+        assert set(m["phases"]) >= {"schedule", "sync"}
+        assert all(v >= 0 for v in m["phases"].values())
+
+    def test_event_sim_adds_async_phase(self):
+        m = broadcast(
+            Hypercube(4), 0, "sbt", 16, 4, run_event_sim=True
+        ).metrics
+        assert "async" in m["phases"]
+
+    def test_counter_deltas_include_engine_traffic(self):
+        m = broadcast(Hypercube(4), 0, "msbt", 64, 8).metrics
+        engine_keys = [
+            k for k in m["counters"]
+            if k.startswith("repro_engine_transfers_total")
+        ]
+        assert engine_keys, sorted(m["counters"])
+        assert sum(m["counters"][k] for k in engine_keys) == m["packets_sent"]
+
+    def test_disabled_registry_leaves_metrics_empty(self):
+        with REGISTRY.disabled():
+            r = broadcast(Hypercube(4), 0, "msbt", 64, 8)
+        assert r.metrics == {}
+
+    def test_scatter_metrics(self):
+        m = scatter(Hypercube(3), 0, message_elems=8, packet_elems=4).metrics
+        assert m["op"] == "scatter"
+        assert m["packets_sent"] > 0
+
+
+class TestBackendDifferential:
+    """The ``sim`` and ``runtime`` backends must report identical
+    canonical traffic for the same operation — the counters describe
+    the *schedule*, not the executor."""
+
+    def test_broadcast_backends_agree(self):
+        kwargs = dict(message_elems=64, packet_elems=8)
+        sim = broadcast(Hypercube(4), 0, "msbt", **kwargs)
+        rt = broadcast(Hypercube(4), 0, "msbt", backend="runtime", **kwargs)
+        assert rt.metrics["backend"] == "runtime"
+        for key in CANONICAL + ("cycles",):
+            assert sim.metrics[key] == rt.metrics[key], key
+        assert sim.metrics["packets_sent"] > 0
+
+    def test_scatter_backends_agree(self):
+        kwargs = dict(message_elems=8, packet_elems=4)
+        sim = scatter(Hypercube(3), 0, **kwargs)
+        rt = scatter(Hypercube(3), 0, backend="runtime", **kwargs)
+        for key in CANONICAL + ("cycles",):
+            assert sim.metrics[key] == rt.metrics[key], key
+
+    def test_runtime_phase_timed(self):
+        m = broadcast(
+            Hypercube(3), 0, "sbt", 16, 4, backend="runtime"
+        ).metrics
+        assert "runtime" in m["phases"]
+        runtime_keys = [
+            k for k in m["counters"]
+            if k.startswith("repro_runtime_packets_total")
+        ]
+        assert runtime_keys
+        assert (
+            sum(m["counters"][k] for k in runtime_keys)
+            == m["packets_sent"]
+        )

@@ -1,0 +1,125 @@
+"""Prometheus text exposition, parsing round-trip, JSON snapshots."""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus,
+    snapshot,
+    to_prometheus,
+    write_metrics_json,
+)
+
+
+def _populated() -> MetricsRegistry:
+    reg = MetricsRegistry(enabled=True)
+    c = reg.counter("repro_ops_total", "operations", ("kind", "backend"))
+    c.labels(kind="bcast", backend="sim").inc(12)
+    c.labels(kind="scatter", backend="runtime").inc(3)
+    reg.gauge("repro_util", "utilization").set(0.75)
+    h = reg.histogram("repro_lat_seconds", "latency", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+class TestPrometheusText:
+    def test_help_and_type_lines(self):
+        text = to_prometheus(_populated())
+        assert "# HELP repro_ops_total operations" in text
+        assert "# TYPE repro_ops_total counter" in text
+        assert "# TYPE repro_lat_seconds histogram" in text
+
+    def test_labeled_sample_lines(self):
+        text = to_prometheus(_populated())
+        assert 'repro_ops_total{kind="bcast",backend="sim"} 12' in text
+
+    def test_histogram_expansion(self):
+        text = to_prometheus(_populated())
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_seconds_count 3" in text
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry(enabled=True)
+        c = reg.counter("x_total", labelnames=("path",))
+        c.labels(path='a"b\\c\nd').inc()
+        parsed = parse_prometheus(to_prometheus(reg))
+        assert parsed[("x_total", (("path", 'a"b\\c\nd'),))] == 1
+
+
+class TestRoundTrip:
+    def test_counters_and_gauges_round_trip(self):
+        reg = _populated()
+        parsed = parse_prometheus(to_prometheus(reg))
+        assert parsed[
+            ("repro_ops_total", (("backend", "sim"), ("kind", "bcast")))
+        ] == 12
+        assert parsed[
+            ("repro_ops_total", (("backend", "runtime"), ("kind", "scatter")))
+        ] == 3
+        assert parsed[("repro_util", ())] == 0.75
+
+    def test_histogram_round_trip(self):
+        parsed = parse_prometheus(to_prometheus(_populated()))
+        assert parsed[("repro_lat_seconds_bucket", (("le", "0.1"),))] == 1
+        assert parsed[("repro_lat_seconds_bucket", (("le", "+Inf"),))] == 3
+        assert parsed[("repro_lat_seconds_count", ())] == 3
+        assert parsed[("repro_lat_seconds_sum", ())] == 5.55
+
+    def test_inf_value_parses(self):
+        assert parse_prometheus("x +Inf\n")[("x", ())] == math.inf
+
+    def test_comments_and_blanks_skipped(self):
+        parsed = parse_prometheus("# HELP x y\n\n# TYPE x counter\nx 1\n")
+        assert parsed == {("x", ()): 1.0}
+
+    def test_empty_registry_is_empty_text(self):
+        assert to_prometheus(MetricsRegistry(enabled=True)) == ""
+        assert parse_prometheus("") == {}
+
+
+class TestSnapshot:
+    def test_structure_and_values(self):
+        snap = snapshot(_populated())
+        fam = snap["repro_ops_total"]
+        assert fam["type"] == "counter"
+        values = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in fam["series"]
+        }
+        assert values[(("backend", "sim"), ("kind", "bcast"))] == 12
+
+    def test_histogram_series_shape(self):
+        snap = snapshot(_populated())
+        series = snap["repro_lat_seconds"]["series"][0]
+        assert series["count"] == 3
+        assert series["sum"] == 5.55
+        assert series["buckets"]["+Inf"] == 3
+        assert series["buckets"]["0.1"] == 1
+
+    def test_json_serializable(self):
+        json.dumps(snapshot(_populated()))
+
+
+class TestWriteMetricsJson:
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        doc = write_metrics_json(
+            path, extra={"command": "test"}, registry=_populated()
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["command"] == "test"
+        assert "repro_ops_total" in loaded["registry"]
+        assert doc["command"] == "test"
+
+    def test_write_to_stream(self):
+        buf = io.StringIO()
+        write_metrics_json(buf, registry=_populated())
+        assert "repro_util" in json.loads(buf.getvalue())["registry"]

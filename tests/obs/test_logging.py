@@ -1,0 +1,94 @@
+"""The structured-logging facade: sinks, context binding, JSON lines."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import configure_logging, get_logger, logging_enabled
+
+
+@pytest.fixture(autouse=True)
+def _no_sink():
+    """Leave the module-global sink unconfigured around every test."""
+    configure_logging(None)
+    yield
+    configure_logging(None)
+
+
+def _records(buf: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestSinks:
+    def test_disabled_by_default(self):
+        assert not logging_enabled()
+        get_logger().info("ignored")  # must not raise
+
+    def test_stream_sink(self):
+        buf = io.StringIO()
+        configure_logging(buf)
+        assert logging_enabled()
+        get_logger().info("hello", x=1)
+        (rec,) = _records(buf)
+        assert rec["event"] == "hello"
+        assert rec["level"] == "info"
+        assert rec["x"] == 1
+        assert "ts" in rec
+
+    def test_path_sink_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        configure_logging(path)
+        get_logger().info("first")
+        configure_logging(path)  # reopen: append, not truncate
+        get_logger().info("second")
+        configure_logging(None)
+        events = [json.loads(x)["event"] for x in path.read_text().splitlines()]
+        assert events == ["first", "second"]
+
+    def test_stdout_sink(self, capsys):
+        configure_logging("-")
+        get_logger().info("to-stdout")
+        assert json.loads(capsys.readouterr().out)["event"] == "to-stdout"
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(TypeError):
+            configure_logging(42)
+
+    def test_sink_resolved_at_emit_time(self):
+        log = get_logger(run="r1")  # created before any sink exists
+        buf = io.StringIO()
+        configure_logging(buf)
+        log.info("late")
+        assert _records(buf)[0]["run"] == "r1"
+
+
+class TestContext:
+    def test_bind_composes(self):
+        buf = io.StringIO()
+        configure_logging(buf)
+        get_logger(run="r1").bind(node=3).warning("evt")
+        (rec,) = _records(buf)
+        assert rec["run"] == "r1" and rec["node"] == 3
+        assert rec["level"] == "warning"
+
+    def test_bind_does_not_mutate_parent(self):
+        parent = get_logger(run="r1")
+        parent.bind(node=3)
+        assert parent.context == {"run": "r1"}
+
+    def test_call_fields_override_context(self):
+        buf = io.StringIO()
+        configure_logging(buf)
+        get_logger(phase="a").info("evt", phase="b")
+        assert _records(buf)[0]["phase"] == "b"
+
+    def test_unserializable_values_fall_back(self):
+        buf = io.StringIO()
+        configure_logging(buf)
+        get_logger().info("evt", nodes={3, 1, 2}, obj=object())
+        (rec,) = _records(buf)
+        assert rec["nodes"] == [1, 2, 3]
+        assert "object" in rec["obj"]

@@ -1,0 +1,180 @@
+"""The metrics registry: family/series semantics, enablement, state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry, ObsError
+
+
+@pytest.fixture
+def reg() -> MetricsRegistry:
+    """A fresh, enabled registry isolated from the process default."""
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_unlabeled_inc(self, reg):
+        c = reg.counter("events_total", "things that happened")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_labeled_series_are_independent(self, reg):
+        c = reg.counter("ops_total", labelnames=("kind",))
+        c.labels(kind="a").inc(2)
+        c.labels(kind="b").inc(3)
+        assert c.labels(kind="a").value == 2
+        assert c.labels(kind="b").value == 3
+        assert c.value == 5  # family value sums the series
+
+    def test_labels_cached_identity(self, reg):
+        c = reg.counter("ops_total", labelnames=("kind",))
+        assert c.labels(kind="x") is c.labels(kind="x")
+
+    def test_negative_inc_rejected(self, reg):
+        c = reg.counter("events_total")
+        with pytest.raises(ObsError):
+            c.inc(-1)
+
+    def test_wrong_labelnames_rejected(self, reg):
+        c = reg.counter("ops_total", labelnames=("kind",))
+        with pytest.raises(ObsError):
+            c.labels(flavor="x")
+        with pytest.raises(ObsError):
+            c.labels()  # unlabeled access to a labeled family
+
+    def test_label_values_coerced_to_str(self, reg):
+        c = reg.counter("ops_total", labelnames=("dim",))
+        c.labels(dim=4).inc()
+        assert c.labels(dim="4").value == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_gauge_may_go_negative(self, reg):
+        g = reg.gauge("delta")
+        g.dec(2)
+        assert g.value == -2
+
+
+class TestHistogram:
+    def test_bucket_placement(self, reg):
+        h = reg.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        s = h.labels()
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            s.observe(v)
+        cum = dict(s.cumulative_buckets())
+        assert cum[0.1] == 1
+        assert cum[1.0] == 3
+        assert cum[10.0] == 4
+        assert cum[float("inf")] == 5
+        assert s.count == 5
+        assert s.sum == pytest.approx(56.05)
+
+    def test_boundary_lands_in_its_bucket(self, reg):
+        # Prometheus buckets are `le` (inclusive upper bounds).
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert dict(h.labels().cumulative_buckets())[1.0] == 1
+
+    def test_default_buckets_used(self, reg):
+        h = reg.histogram("lat")
+        assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
+
+    def test_empty_buckets_rejected(self, reg):
+        with pytest.raises(ObsError):
+            reg.histogram("lat", buckets=())
+
+
+class TestRegistration:
+    def test_reregistration_returns_same_family(self, reg):
+        a = reg.counter("x_total", labelnames=("k",))
+        b = reg.counter("x_total", labelnames=("k",))
+        assert a is b
+
+    def test_kind_mismatch_rejected(self, reg):
+        reg.counter("x_total")
+        with pytest.raises(ObsError):
+            reg.gauge("x_total")
+
+    def test_labelnames_mismatch_rejected(self, reg):
+        reg.counter("x_total", labelnames=("k",))
+        with pytest.raises(ObsError):
+            reg.counter("x_total", labelnames=("k", "v"))
+
+    def test_collect_sorted_and_get(self, reg):
+        reg.counter("b_total")
+        reg.gauge("a")
+        assert [f.name for f in reg.collect()] == ["a", "b_total"]
+        assert reg.get("a").kind == "gauge"
+        assert reg.get("missing") is None
+
+
+class TestEnablement:
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x_total")
+        g = reg.gauge("y")
+        h = reg.histogram("z", buckets=(1.0,))
+        c.inc()
+        g.set(9)
+        h.observe(0.5)
+        assert c.value == 0
+        assert g.value == 0
+        assert h.labels().count == 0
+
+    def test_always_instruments_keep_counting(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("cache_total", always=True)
+        c.inc(3)
+        assert c.value == 3
+
+    def test_disabled_context_manager(self, reg):
+        c = reg.counter("x_total")
+        with reg.disabled():
+            c.inc()
+        c.inc()
+        assert c.value == 1
+        assert reg.enabled
+
+    def test_configure_toggles(self, reg):
+        assert reg.configure(enabled=False) is False
+        assert not reg.enabled
+        assert reg.configure(enabled=True) is True
+
+    def test_configure_argument_validation(self, reg):
+        with pytest.raises(ValueError):
+            reg.configure()
+        with pytest.raises(ValueError):
+            reg.configure(enabled=True, from_env=True)
+
+    def test_configure_from_env(self, reg, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "off")
+        assert reg.configure(from_env=True) is False
+        monkeypatch.setenv("REPRO_OBS", "1")
+        assert reg.configure(from_env=True) is True
+
+
+class TestState:
+    def test_reset_zeroes_everything(self, reg):
+        c = reg.counter("x_total", labelnames=("k",))
+        c.labels(k="a").inc(5)
+        h = reg.histogram("z", buckets=(1.0,))
+        h.observe(0.5)
+        reg.reset()
+        assert c.value == 0
+        assert h.labels().count == 0
+
+    def test_counter_values_snapshot(self, reg):
+        c = reg.counter("x_total", labelnames=("k",))
+        c.labels(k="a").inc(2)
+        reg.gauge("y").set(9)  # gauges are not part of the delta snapshot
+        values = reg.counter_values()
+        assert values == {("x_total", ("a",)): 2}

@@ -199,3 +199,90 @@ class TestSweepCommand:
         assert "[table6]" in out
         assert "process-pool" in out
         assert list((tmp_path / "cache").rglob("*.pkl"))  # disk cache populated
+
+
+class TestObservabilityFlags:
+    def _metrics_doc(self, out: str) -> dict:
+        """The JSON document ``--metrics-json -`` appends to stdout."""
+        import json
+
+        return json.loads(out[out.index("{"):])
+
+    def test_metrics_json_to_stdout(self, capsys):
+        code = main([
+            "broadcast", "--dim", "4", "-a", "msbt", "-M", "64", "-B", "8",
+            "--metrics-json", "-",
+        ])
+        assert code == 0
+        doc = self._metrics_doc(capsys.readouterr().out)
+        assert doc["command"] == "broadcast"
+        assert doc["collective"]["packets_sent"] > 0
+        assert doc["collective"]["phases"]["schedule"] >= 0
+        engine = doc["registry"]["repro_engine_transfers_total"]
+        assert sum(s["value"] for s in engine["series"]) > 0
+        cache_ops = doc["registry"]["repro_cache_ops_total"]["series"]
+        assert any(s["labels"]["op"] in ("hit", "miss") for s in cache_ops)
+
+    def test_metrics_json_to_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main([
+            "scatter", "--dim", "3", "-M", "8", "-B", "4",
+            "--metrics-json", str(path),
+        ])
+        assert code == 0
+        assert "metrics written to" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["command"] == "scatter"
+        assert doc["collective"]["op"] == "scatter"
+
+    def test_metrics_json_on_sweep(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main([
+            "sweep", "table1", "--jobs", "1", "--metrics-json", str(path),
+        ])
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["command"] == "sweep"
+        assert doc["targets"] == ["table1"]
+        sweeps = doc["registry"]["repro_sweep_points_total"]["series"]
+        assert sum(s["value"] for s in sweeps) >= 1
+
+    def test_log_json_writes_run_journal(self, tmp_path):
+        import json
+
+        path = tmp_path / "run.jsonl"
+        code = main([
+            "broadcast", "--dim", "3", "-M", "16", "-B", "4",
+            "--log-json", str(path),
+        ])
+        assert code == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        finished = [r for r in records if r["event"] == "collective.finished"]
+        assert finished and finished[0]["op"] == "broadcast"
+
+    def test_log_json_sink_released_after_main(self, tmp_path):
+        from repro.obs import logging_enabled
+
+        main([
+            "broadcast", "--dim", "3", "-M", "16", "-B", "4",
+            "--log-json", str(tmp_path / "run.jsonl"),
+        ])
+        assert not logging_enabled()
+
+    def test_profile_prints_table(self, capsys):
+        code = main([
+            "broadcast", "--dim", "3", "-M", "16", "-B", "4", "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out or "function calls" in out
+
+    def test_phase_timings_line(self, capsys):
+        main(["broadcast", "--dim", "3", "-M", "16", "-B", "4"])
+        assert "phase timings" in capsys.readouterr().out

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.collectives",
     "repro.analysis",
     "repro.experiments",
+    "repro.obs",
 ]
 
 
