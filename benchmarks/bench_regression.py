@@ -16,7 +16,13 @@ import pytest
 
 from repro import cache
 from repro.routing import msbt_broadcast_schedule
-from repro.sim import IPSC_D7, PortModel, run_async, run_synchronous
+from repro.sim import (
+    IPSC_D7,
+    PortModel,
+    run_async,
+    run_async_vectorized,
+    run_synchronous,
+)
 from repro.topology import Hypercube
 
 
@@ -49,6 +55,32 @@ def test_regress_event_engine_n10(benchmark, workload_n10):
     init = {0: set(sched.chunk_sizes)}
     res = benchmark.pedantic(
         run_async,
+        args=(cube, sched, PortModel.ONE_PORT_FULL, init, IPSC_D7),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.time > 0
+
+
+def test_regress_vectorized_engine_n10(benchmark, workload_n10):
+    cube, sched = workload_n10
+    init = {0: set(sched.chunk_sizes)}
+    res = benchmark.pedantic(
+        run_async_vectorized,
+        args=(cube, sched, PortModel.ONE_PORT_FULL, init, IPSC_D7),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.time > 0
+
+
+def test_regress_vectorized_engine_n12(benchmark):
+    # ~246k transfers — indexed-engine territory measured in minutes;
+    # only the vectorized engine runs a large cube in the suite
+    cube, sched = _msbt_workload(12)
+    init = {0: set(sched.chunk_sizes)}
+    res = benchmark.pedantic(
+        run_async_vectorized,
         args=(cube, sched, PortModel.ONE_PORT_FULL, init, IPSC_D7),
         rounds=1,
         iterations=1,

@@ -218,6 +218,14 @@ def main() -> int:
         sys.exit(
             f"no baseline at {baseline_path}; create one with --update"
         )
+    base_cpus = baseline.get("_meta", {}).get("cpu_count")
+    if base_cpus is not None and base_cpus != os.cpu_count():
+        print(
+            f"warning: baseline captured with cpu_count={base_cpus} but "
+            f"this machine has {os.cpu_count()}; timings may not be "
+            "comparable (refresh with --update after switching hardware)",
+            file=sys.stderr,
+        )
     code, report = compare(medians, baseline, args.threshold, args.min_delta)
     if args.report:
         report = {

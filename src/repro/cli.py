@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
 from contextlib import nullcontext
@@ -32,6 +33,7 @@ from repro.collectives.api import (
     scatter,
 )
 from repro.obs import configure_logging, profiled, write_metrics_json
+from repro.sim.dispatch import ENGINES
 from repro.sim.faults import FaultError, FaultPlan
 from repro.sim.machine import IPSC_D7, MachineParams
 from repro.sim.ports import PortModel
@@ -63,6 +65,15 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="persist generated trees/schedules under DIR "
              "(default: REPRO_CACHE_DIR)")
+    _add_engine_option(parser)
+
+
+def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="event-engine implementation (default: REPRO_ENGINE or "
+             "indexed; vectorized is bit-identical and much faster on "
+             "large cubes)")
 
 
 def _add_obs_options(parser: argparse.ArgumentParser) -> None:
@@ -152,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         c.add_argument("--profile", action="store_true",
                        help="capture a cProfile of the collective and "
                             "print the hottest functions")
+        _add_engine_option(c)
         _add_obs_options(c)
     return parser
 
@@ -224,6 +236,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    # table/figure/sweep runners reach the engines through many layers;
+    # the environment default is the documented channel for them (the
+    # sweep executor re-exports it to its workers).
+    if getattr(args, "engine", None) and args.command in (
+        "table", "figure", "sweep"
+    ):
+        os.environ["REPRO_ENGINE"] = args.engine
+
     if args.command == "table":
         from repro import experiments
 
@@ -279,6 +299,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 on_fault=args.on_fault,
                 backend=args.backend,
                 trace=want_trace,
+                engine=args.engine,
             )
     except FaultError as exc:
         print(f"fault: {exc}", file=sys.stderr)

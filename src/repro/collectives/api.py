@@ -45,7 +45,7 @@ from repro.runtime.rules import (
     RUNTIME_BROADCAST_ALGORITHMS,
     RUNTIME_SCATTER_ALGORITHMS,
 )
-from repro.sim.engine import run_async
+from repro.sim.dispatch import get_engine
 from repro.sim.faults import DegradedResult, FaultError, FaultPlan
 from repro.sim.machine import MachineParams
 from repro.sim.ports import PortModel
@@ -161,6 +161,7 @@ def _run(
     on_fault: str = "raise",
     undelivered: frozenset[int] = frozenset(),
     collector: RunCollector | None = None,
+    engine: str | None = None,
 ) -> CollectiveResult:
     collector = collector or RunCollector("-", schedule.algorithm)
     with collector.phase("sync"):
@@ -169,6 +170,7 @@ def _run(
             faults=faults, on_fault=on_fault,
         )
     if run_event_sim:
+        run_async = get_engine(engine)
         with collector.phase("async"):
             async_ = run_async(
                 cube, schedule, port_model, initial, machine,
@@ -198,6 +200,7 @@ def broadcast(
     on_fault: str = "raise",
     backend: str = "sim",
     trace: bool = False,
+    engine: str | None = None,
 ) -> CollectiveResult:
     """Broadcast ``message_elems`` from ``source`` to every other node.
 
@@ -231,6 +234,10 @@ def broadcast(
             ``result.async_``, so ``run_event_sim`` is implied.
         trace: record a per-packet :class:`repro.runtime.RuntimeTrace`
             on ``result.async_.trace`` (runtime backend only).
+        engine: event-engine implementation for ``run_event_sim``
+            (see :data:`repro.sim.ENGINES`; default: ``REPRO_ENGINE``
+            or ``"indexed"``; ``"vectorized"`` is bit-identical and
+            much faster on large cubes).
     """
     packet_elems = message_elems if packet_elems is None else packet_elems
     if backend not in BACKENDS:
@@ -245,6 +252,7 @@ def broadcast(
         return _broadcast_with_faults(
             cube, source, algorithm, message_elems, packet_elems,
             port_model, machine, run_event_sim, faults, on_fault,
+            engine=engine,
         )
     collector = RunCollector("broadcast", algorithm)
     with collector.phase("schedule"):
@@ -254,7 +262,7 @@ def broadcast(
     initial = {source: set(sched.chunk_sizes)}
     result = _run(
         cube, sched, port_model, initial, machine, run_event_sim,
-        collector=collector,
+        collector=collector, engine=engine,
     )
     _check_broadcast_delivery(cube, result)
     collector.finalize(result)
@@ -306,6 +314,7 @@ def _broadcast_with_faults(
     run_event_sim: bool,
     faults: FaultPlan,
     on_fault: str,
+    engine: str | None = None,
 ) -> CollectiveResult:
     """Fault-routed broadcast: degraded MSBT when possible, else FAST.
 
@@ -344,7 +353,7 @@ def _broadcast_with_faults(
         cube, sched, port_model, initial, machine, run_event_sim,
         faults=faults, on_fault=on_fault,
         undelivered=frozenset(cube.nodes()) - covered,
-        collector=collector,
+        collector=collector, engine=engine,
     )
     _check_broadcast_delivery(cube, result, covered=covered)
     collector.finalize(result)
@@ -365,6 +374,7 @@ def scatter(
     on_fault: str = "raise",
     backend: str = "sim",
     trace: bool = False,
+    engine: str | None = None,
 ) -> CollectiveResult:
     """Send a distinct ``message_elems`` message from ``source`` to each node.
 
@@ -392,6 +402,8 @@ def scatter(
             (``"sbt"``/``"bst"`` only).
         trace: record a per-packet :class:`repro.runtime.RuntimeTrace`
             on ``result.async_.trace`` (runtime backend only).
+        engine: event-engine implementation for ``run_event_sim``
+            (see :data:`repro.sim.ENGINES`).
     """
     packet_elems = message_elems if packet_elems is None else packet_elems
     if backend not in BACKENDS:
@@ -419,7 +431,7 @@ def scatter(
             cube, sched, port_model, initial, machine, run_event_sim,
             faults=faults, on_fault=on_fault,
             undelivered=frozenset(cube.nodes()) - tree.covered,
-            collector=collector,
+            collector=collector, engine=engine,
         )
         _check_scatter_delivery(cube, source, result, covered=tree.covered)
         collector.finalize(result)
@@ -431,7 +443,7 @@ def scatter(
     initial = {source: set(sched.chunk_sizes)}
     result = _run(
         cube, sched, port_model, initial, machine, run_event_sim,
-        collector=collector,
+        collector=collector, engine=engine,
     )
     _check_scatter_delivery(cube, source, result)
     collector.finalize(result)
@@ -472,6 +484,7 @@ def gather(
     port_model: PortModel = PortModel.ONE_PORT_FULL,
     machine: MachineParams | None = None,
     run_event_sim: bool = False,
+    engine: str | None = None,
 ) -> CollectiveResult:
     """Collect a distinct ``message_elems`` message from every node at ``root``.
 
@@ -490,7 +503,7 @@ def gather(
     }
     result = _run(
         cube, sched, port_model, initial, machine, run_event_sim,
-        collector=collector,
+        collector=collector, engine=engine,
     )
     if not result.sync.holdings[root] >= set(sched.chunk_sizes):
         raise AssertionError("gather failed to collect every message at the root")
@@ -506,6 +519,7 @@ def reduce(
     port_model: PortModel = PortModel.ONE_PORT_FULL,
     machine: MachineParams | None = None,
     run_event_sim: bool = False,
+    engine: str | None = None,
 ) -> CollectiveResult:
     """Combine an ``message_elems`` operand from every node at ``root`` (SBT)."""
     packet_elems = message_elems if packet_elems is None else packet_elems
@@ -517,7 +531,7 @@ def reduce(
     initial = reduce_initial_holdings(cube, message_elems, packet_elems)
     result = _run(
         cube, sched, port_model, initial, machine, run_event_sim,
-        collector=collector,
+        collector=collector, engine=engine,
     )
     collector.finalize(result)
     return result
@@ -531,6 +545,7 @@ def allreduce(
     machine: MachineParams | None = None,
     run_event_sim: bool = False,
     broadcast_algorithm: str = "sbt",
+    engine: str | None = None,
 ) -> tuple[CollectiveResult, CollectiveResult]:
     """Reduce to node 0 then broadcast the result back (allreduce).
 
@@ -539,11 +554,12 @@ def allreduce(
     (``phase1.time + phase2.time``).
     """
     phase1 = reduce(
-        cube, 0, message_elems, packet_elems, port_model, machine, run_event_sim
+        cube, 0, message_elems, packet_elems, port_model, machine,
+        run_event_sim, engine=engine,
     )
     phase2 = broadcast(
         cube, 0, broadcast_algorithm, message_elems, packet_elems,
-        port_model, machine, run_event_sim,
+        port_model, machine, run_event_sim, engine=engine,
     )
     return phase1, phase2
 
@@ -554,6 +570,7 @@ def allgather(
     port_model: PortModel = PortModel.ONE_PORT_FULL,
     machine: MachineParams | None = None,
     run_event_sim: bool = False,
+    engine: str | None = None,
 ) -> CollectiveResult:
     """All-to-all broadcast: every node ends holding every contribution."""
     collector = RunCollector("allgather", "dimension-exchange")
@@ -562,7 +579,7 @@ def allgather(
     initial = allgather_initial_holdings(cube)
     result = _run(
         cube, sched, port_model, initial, machine, run_event_sim,
-        collector=collector,
+        collector=collector, engine=engine,
     )
     for v in cube.nodes():
         if len(result.sync.holdings[v]) != cube.num_nodes:
@@ -578,6 +595,7 @@ def alltoall_personalized(
     machine: MachineParams | None = None,
     run_event_sim: bool = False,
     algorithm: str = "dimension-exchange",
+    engine: str | None = None,
 ) -> CollectiveResult:
     """Total exchange: node ``i`` sends a distinct message to every ``j``.
 
@@ -604,7 +622,7 @@ def alltoall_personalized(
     initial = alltoall_initial_holdings(cube)
     result = _run(
         cube, sched, port_model, initial, machine, run_event_sim,
-        collector=collector,
+        collector=collector, engine=engine,
     )
     for v in cube.nodes():
         got = {c for c in result.sync.holdings[v] if c[2] == v}

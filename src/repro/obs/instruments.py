@@ -38,6 +38,7 @@ __all__ = [
     "ENGINE_EVENTS",
     "ENGINE_FAULTED_TRANSFERS",
     "ENGINE_RUN_SECONDS",
+    "ENGINE_TABLE_BYTES_PEAK",
     "ENGINE_TRANSFERS",
     "RUNTIME_ELEMS",
     "RUNTIME_FAULTED_TRANSFERS",
@@ -92,6 +93,10 @@ ENGINE_RUN_SECONDS = REGISTRY.histogram(
     "repro_engine_run_seconds",
     "Wall-clock seconds per engine run.",
     ("engine",),
+)
+ENGINE_TABLE_BYTES_PEAK = REGISTRY.gauge(
+    "repro_engine_table_bytes_peak",
+    "Largest lowered-schedule table (bytes) seen by the vectorized engine.",
 )
 
 # -- actor runtime ----------------------------------------------------
@@ -191,6 +196,7 @@ def engine_run_finished(
     admission_blocks: int = 0,
     faulted: int = 0,
     deadlocked: bool = False,
+    table_bytes: int = 0,
 ) -> None:
     """Flush one engine run's locally accumulated counters.
 
@@ -213,6 +219,8 @@ def engine_run_finished(
         ENGINE_FAULTED_TRANSFERS.labels(engine=engine).inc(faulted)
     if deadlocked:
         ENGINE_DEADLOCKS.labels(engine=engine).inc()
+    if table_bytes > ENGINE_TABLE_BYTES_PEAK.value:
+        ENGINE_TABLE_BYTES_PEAK.set(table_bytes)
     ENGINE_RUN_SECONDS.labels(engine=engine).observe(seconds)
 
 

@@ -7,19 +7,34 @@ Two engines over one schedule representation:
 * :func:`repro.sim.run_async` — event-driven timing with start-ups,
   hardware packet splitting and cross-port overlap (the paper's iPSC
   measurements).
+
+The event engine has interchangeable implementations (see
+:mod:`repro.sim.dispatch`): the default ``"indexed"`` object path and
+the ``"vectorized"`` array core (:func:`repro.sim.run_async_vectorized`),
+which compiles the schedule to flat NumPy tables via
+:func:`repro.sim.lower_schedule` and produces bit-identical results.
 """
 
+from repro.sim.dispatch import ENGINES, get_engine, resolve_engine
 from repro.sim.engine import AsyncResult, run_async
 from repro.sim.faults import DegradedResult, FaultError, FaultEvent, FaultPlan
+from repro.sim.lowering import LoweredSchedule, lower_schedule
 from repro.sim.machine import IPSC_D7, UNIT_COST, ZERO_STARTUP, MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer, merge_schedules
 from repro.sim.synchronous import SyncResult, check_round_constraints, run_synchronous
 from repro.sim.trace import LinkStats
+from repro.sim.vectorized import run_async_vectorized
 
 __all__ = [
     "AsyncResult",
     "run_async",
+    "run_async_vectorized",
+    "ENGINES",
+    "get_engine",
+    "resolve_engine",
+    "LoweredSchedule",
+    "lower_schedule",
     "DegradedResult",
     "FaultError",
     "FaultEvent",

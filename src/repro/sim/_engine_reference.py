@@ -40,6 +40,8 @@ _EPS = 1e-12
 class _Action:
     """One in-flight occupation of a node channel."""
 
+    __slots__ = ("port", "start", "end")
+
     port: int
     start: float
     end: float

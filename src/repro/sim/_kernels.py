@@ -1,0 +1,71 @@
+"""Admission-prefilter kernel for the vectorized event engine.
+
+One kernel, two implementations selected at import time:
+
+* a numba ``@njit`` loop when numba is importable (opt-in acceleration;
+  the ``accel`` extra installs it) and ``REPRO_NO_NUMBA`` is unset;
+* a pure-NumPy fallback otherwise — the canonical, always-tested path.
+
+Both answer the same question for a batch of candidate transfer ids:
+*which candidates must the scalar admission loop examine at the
+current instant?*  The filter is exact, not conservative, because the
+engine maintains ``vc`` — the per-transfer constraint value — with an
+invariant that makes the comparison lossless:
+
+* a virgin (never-examined) transfer has ``vc = 0``, so it is kept the
+  moment its payload is ready (its first exam parks it or starts it);
+* a parked (examined-and-blocked) transfer's ``vc`` is its exact
+  channel/link constraint, re-materialized by the engine's
+  dirty-channel sweep before every time advance, so ``vc <= limit`` is
+  precisely the reference's admission re-check (for the all-port model
+  ``vc`` may lag *below* the true link constraint, which only costs a
+  re-exam, never a wrong drop);
+* an executed or faulted transfer has ``vc = inf`` and is never kept
+  again.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "prefilter"]
+
+HAVE_NUMBA = False
+
+
+def _prefilter_numpy(
+    idx: np.ndarray,
+    ready: np.ndarray,
+    vc: np.ndarray,
+    limit: float,
+) -> np.ndarray:
+    """Candidate ids from ``idx`` requiring an exact exam at this instant."""
+    sub = idx[ready[idx] <= limit]
+    if sub.size == 0:
+        return sub
+    return sub[vc[sub] <= limit]
+
+
+prefilter = _prefilter_numpy
+
+if not os.environ.get("REPRO_NO_NUMBA"):
+    try:
+        from numba import njit  # type: ignore[import-not-found]
+    except ImportError:
+        pass
+    else:  # pragma: no cover - exercised only when numba is installed
+        @njit(cache=True)
+        def _prefilter_jit(idx, ready, vc, limit):  # type: ignore[misc]
+            out = np.empty(idx.size, dtype=np.int64)
+            k = 0
+            for j in range(idx.size):
+                i = idx[j]
+                if ready[i] <= limit and vc[i] <= limit:
+                    out[k] = i
+                    k += 1
+            return out[:k]
+
+        prefilter = _prefilter_jit
+        HAVE_NUMBA = True

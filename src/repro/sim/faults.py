@@ -255,10 +255,21 @@ class FaultEvent:
         subject: the failed link ``(a, b)`` or the failed node.
     """
 
+    __slots__ = ("transfer", "time", "kind", "subject")
+
     transfer: Transfer
     time: float
     kind: str
     subject: tuple[int, int] | int
+
+    # frozen + manual __slots__ needs explicit pickle support (the
+    # default slot-state restore goes through the frozen __setattr__)
+    def __getstate__(self):
+        return (self.transfer, self.time, self.kind, self.subject)
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(self.__slots__, state):
+            object.__setattr__(self, name, value)
 
 
 @dataclass

@@ -1,0 +1,265 @@
+"""Lower a :class:`~repro.sim.schedule.Schedule` into flat arrays.
+
+The vectorized event engine (:mod:`repro.sim.vectorized`) does not walk
+``Transfer`` objects, chunk frozensets and ``(node, chunk)`` dicts at
+every admission check.  Instead this module compiles a schedule once
+into an array-of-structs :class:`LoweredSchedule`:
+
+* per-transfer columns ``src``/``dst``/``port``/``link``/``elems`` —
+  the port and the dense directed-link id are precomputed here, so the
+  hot loop never calls :meth:`Hypercube.port_towards` (profiling shows
+  the indexed engine spends a large share of its time re-deriving and
+  re-validating ports, ~6–7 examinations per transfer);
+* a *slot* table: every distinct ``(node, chunk)`` pair that can ever
+  hold payload gets a dense id, with ``slot_node``/``slot_chunk``
+  decoding columns and an ``init_avail`` column (0.0 for initial
+  holdings, ``+inf`` for absent);
+* dependency CSR indexes: ``in_ptr``/``in_idx`` (the slots a transfer
+  reads at its sender), ``out_ptr``/``out_idx`` (the slots it writes at
+  its receiver) and the inverted ``wait_ptr``/``wait_idx`` (the
+  transfers waiting on each slot), plus ``init_missing`` — how many of
+  each transfer's input slots start out absent.
+
+Lowering is machine- and port-model-independent: the same
+:class:`LoweredSchedule` can be replayed under any
+:class:`~repro.sim.machine.MachineParams`.  It *does* bake in the
+initial holdings (they define the slot table and ``init_avail``).
+
+Adjacency validation is vectorized: every transfer must cross exactly
+one cube dimension.  Offending transfers are re-checked through
+:meth:`Hypercube.port_towards` so the error message matches the
+object-path engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.schedule import Chunk, Schedule, Transfer
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["LoweredSchedule", "lower_schedule"]
+
+
+@dataclass
+class LoweredSchedule:
+    """A schedule compiled to flat NumPy columns (see module docstring).
+
+    Attributes:
+        n_transfers: number of transfers ``T``.
+        n_slots: number of distinct ``(node, chunk)`` payload slots.
+        n_links: number of distinct directed links used.
+        transfers: transfer id -> original :class:`Transfer` (for error
+            reporting, fault events and degraded results).
+        chunk_objects: chunk id -> original chunk identifier.
+        src, dst, port: per-transfer endpoints and cube dimension.
+        link: per-transfer dense directed-link id.
+        elems: per-transfer payload size in elements.
+        in_ptr, in_idx: CSR — transfer -> sender payload slots.
+        out_ptr, out_idx: CSR — transfer -> receiver payload slots.
+        wait_ptr, wait_idx: CSR — slot -> transfer ids waiting on it.
+        slot_node, slot_chunk: slot -> ``(node, chunk id)`` decode.
+        init_avail: slot -> availability time at t=0 (``inf`` = absent).
+        init_missing: transfer -> count of input slots absent at t=0.
+        link_src, link_dst: link id -> directed endpoints.
+    """
+
+    n_transfers: int
+    n_slots: int
+    n_links: int
+    transfers: list[Transfer]
+    chunk_objects: list[Chunk]
+    src: np.ndarray
+    dst: np.ndarray
+    port: np.ndarray
+    link: np.ndarray
+    elems: np.ndarray
+    in_ptr: np.ndarray
+    in_idx: np.ndarray
+    out_ptr: np.ndarray
+    out_idx: np.ndarray
+    wait_ptr: np.ndarray
+    wait_idx: np.ndarray
+    slot_node: np.ndarray
+    slot_chunk: np.ndarray
+    init_avail: np.ndarray
+    init_missing: np.ndarray
+    link_src: np.ndarray
+    link_dst: np.ndarray
+
+    @property
+    def table_bytes(self) -> int:
+        """Total bytes held by the lowered arrays (peak table footprint)."""
+        return sum(
+            getattr(self, name).nbytes
+            for name in (
+                "src", "dst", "port", "link", "elems",
+                "in_ptr", "in_idx", "out_ptr", "out_idx",
+                "wait_ptr", "wait_idx",
+                "slot_node", "slot_chunk", "init_avail", "init_missing",
+                "link_src", "link_dst",
+            )
+        )
+
+
+def lower_schedule(
+    cube: Hypercube,
+    schedule: Schedule,
+    initial_holdings: dict[int, set[Chunk]],
+) -> LoweredSchedule:
+    """Compile ``schedule`` + ``initial_holdings`` into flat arrays."""
+    transfers = schedule.all_transfers()
+    n_transfers = len(transfers)
+    chunk_sizes = schedule.chunk_sizes
+
+    # -- chunk interning ---------------------------------------------------
+    chunk_ids: dict[Chunk, int] = {}
+    chunk_objects: list[Chunk] = []
+
+    def _cid(c: Chunk) -> int:
+        i = chunk_ids.get(c)
+        if i is None:
+            i = len(chunk_objects)
+            chunk_ids[c] = i
+            chunk_objects.append(c)
+        return i
+
+    # One Python pass over the transfer list gathers everything that
+    # needs object hashing; all index construction after it is NumPy.
+    src_l: list[int] = []
+    dst_l: list[int] = []
+    elems_l: list[int] = []
+    in_counts: list[int] = []
+    in_cids: list[int] = []
+    in_nodes: list[int] = []
+    out_cids: list[int] = []
+    out_nodes: list[int] = []
+    for t in transfers:
+        s, d = t.src, t.dst
+        src_l.append(s)
+        dst_l.append(d)
+        total = 0
+        k = 0
+        for c in t.chunks:
+            ci = _cid(c)
+            total += chunk_sizes[c]
+            in_cids.append(ci)
+            in_nodes.append(s)
+            out_cids.append(ci)
+            out_nodes.append(d)
+            k += 1
+        elems_l.append(total)
+        in_counts.append(k)
+
+    init_nodes: list[int] = []
+    init_cids: list[int] = []
+    for node, chunks in initial_holdings.items():
+        for c in chunks:
+            init_nodes.append(node)
+            init_cids.append(_cid(c))
+
+    n_chunks = max(1, len(chunk_objects))
+    num_nodes = cube.num_nodes
+
+    src = np.asarray(src_l, dtype=np.int64).reshape(n_transfers)
+    dst = np.asarray(dst_l, dtype=np.int64).reshape(n_transfers)
+    elems = np.asarray(elems_l, dtype=np.int64).reshape(n_transfers)
+
+    # -- adjacency validation + port extraction (vectorized) ---------------
+    diff = src ^ dst
+    ok = (
+        (src >= 0) & (src < num_nodes)
+        & (dst >= 0) & (dst < num_nodes)
+        & (diff > 0) & ((diff & (diff - 1)) == 0)
+    )
+    if not bool(ok.all()):
+        bad = int(np.flatnonzero(~ok)[0])
+        # re-raise through the canonical validators for the same message
+        cube.check_node(transfers[bad].src)
+        cube.check_node(transfers[bad].dst)
+        cube.port_towards(transfers[bad].src, transfers[bad].dst)
+        raise AssertionError("unreachable")  # pragma: no cover
+    if n_transfers:
+        port = np.round(np.log2(diff.astype(np.float64))).astype(np.int32)
+    else:
+        port = np.zeros(0, dtype=np.int32)
+
+    # -- dense directed-link ids -------------------------------------------
+    edge_key = src * num_nodes + dst
+    uniq_edges, link = np.unique(edge_key, return_inverse=True)
+    link = link.astype(np.int64).reshape(n_transfers)
+    link_src = (uniq_edges // num_nodes).astype(np.int32)
+    link_dst = (uniq_edges % num_nodes).astype(np.int32)
+
+    # -- slot table: every (node, chunk) that can hold payload -------------
+    in_key = (
+        np.asarray(in_nodes, dtype=np.int64) * n_chunks
+        + np.asarray(in_cids, dtype=np.int64)
+    )
+    out_key = (
+        np.asarray(out_nodes, dtype=np.int64) * n_chunks
+        + np.asarray(out_cids, dtype=np.int64)
+    )
+    init_key = (
+        np.asarray(init_nodes, dtype=np.int64) * n_chunks
+        + np.asarray(init_cids, dtype=np.int64)
+    )
+    all_keys = np.concatenate([in_key, out_key, init_key])
+    uniq_slots, inv = np.unique(all_keys, return_inverse=True)
+    inv = inv.astype(np.int64)
+    n_slots = int(uniq_slots.size)
+    n_in = in_key.size
+    n_out = out_key.size
+    in_idx = inv[:n_in]
+    out_idx = inv[n_in:n_in + n_out]
+    init_slots = inv[n_in + n_out:]
+    slot_node = (uniq_slots // n_chunks).astype(np.int64)
+    slot_chunk = (uniq_slots % n_chunks).astype(np.int64)
+
+    counts = np.asarray(in_counts, dtype=np.int64).reshape(n_transfers)
+    ptr = np.zeros(n_transfers + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    in_ptr = ptr
+    out_ptr = ptr.copy()  # in/out slot lists are parallel per transfer
+
+    init_avail = np.full(n_slots, np.inf)
+    init_avail[init_slots] = 0.0
+
+    # -- inverted dependency index: slot -> waiting transfer ids -----------
+    owner = np.repeat(np.arange(n_transfers, dtype=np.int64), counts)
+    order = np.argsort(in_idx, kind="stable")
+    wait_idx = owner[order]
+    wait_ptr = np.zeros(n_slots + 1, dtype=np.int64)
+    np.cumsum(np.bincount(in_idx, minlength=n_slots), out=wait_ptr[1:])
+
+    absent = init_avail[in_idx] == np.inf
+    init_missing = np.bincount(owner[absent], minlength=n_transfers).astype(
+        np.int64
+    )
+
+    return LoweredSchedule(
+        n_transfers=n_transfers,
+        n_slots=n_slots,
+        n_links=int(uniq_edges.size),
+        transfers=transfers,
+        chunk_objects=chunk_objects,
+        src=src,
+        dst=dst,
+        port=port,
+        link=link,
+        elems=elems,
+        in_ptr=in_ptr,
+        in_idx=in_idx,
+        out_ptr=out_ptr,
+        out_idx=out_idx,
+        wait_ptr=wait_ptr,
+        wait_idx=wait_idx,
+        slot_node=slot_node,
+        slot_chunk=slot_chunk,
+        init_avail=init_avail,
+        init_missing=init_missing,
+        link_src=link_src,
+        link_dst=link_dst,
+    )

@@ -31,12 +31,17 @@ Chunk = Hashable
 class Transfer:
     """One packet moving over one directed cube edge.
 
+    Large schedules materialize one instance per packet (an n=14 MSBT
+    broadcast is close to a million), hence ``__slots__``.
+
     Attributes:
         src: sending node.
         dst: receiving node (must be a cube neighbour of ``src``).
         chunks: the chunk ids carried (the engines verify ``src`` holds
             them all when the transfer starts).
     """
+
+    __slots__ = ("src", "dst", "chunks")
 
     src: int
     dst: int
@@ -47,6 +52,15 @@ class Transfer:
             raise ValueError(f"self-transfer at node {self.src}")
         if not isinstance(self.chunks, frozenset):
             object.__setattr__(self, "chunks", frozenset(self.chunks))
+
+    # frozen + manual __slots__ needs explicit pickle support (the
+    # default slot-state restore goes through the frozen __setattr__)
+    def __getstate__(self):
+        return (self.src, self.dst, self.chunks)
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(self.__slots__, state):
+            object.__setattr__(self, name, value)
 
     def __repr__(self) -> str:
         return f"Transfer({self.src}->{self.dst}, {len(self.chunks)} chunks)"

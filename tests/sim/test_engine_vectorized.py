@@ -1,0 +1,367 @@
+"""The vectorized array-core engine is bit-identical to the indexed one.
+
+``repro.sim.vectorized.run_async_vectorized`` lowers the schedule to
+flat NumPy tables (:mod:`repro.sim.lowering`) and batches admission
+through the :mod:`repro.sim._kernels` prefilter, but its results must
+match the indexed engine — and hence the reference oracle — to the
+last ulp: completion time, holdings, link statistics, start times,
+fault errors and degraded results alike.
+
+Also covers the engine dispatch layer (:mod:`repro.sim.dispatch`), the
+``engine=`` plumbing through the collectives API and the sweep
+executor, the prefilter kernel's NumPy fallback, and the
+``repro_engine_table_bytes_peak`` gauge.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.api import broadcast
+from repro.experiments.parallel import run_sweep
+from repro.obs import REGISTRY
+from repro.obs.instruments import ENGINE_TABLE_BYTES_PEAK
+from repro.routing import (
+    allgather_schedule,
+    bst_scatter_schedule,
+    dual_hp_broadcast_schedule,
+    msbt_broadcast_schedule,
+    sbt_broadcast_schedule,
+    sbt_scatter_schedule,
+    tree_broadcast_schedule,
+)
+from repro.sim import ENGINES, get_engine, resolve_engine
+from repro.sim._engine_reference import run_async_reference
+from repro.sim._kernels import HAVE_NUMBA, _prefilter_numpy, prefilter
+from repro.sim.engine import run_async
+from repro.sim.faults import DegradedResult, FaultError, FaultPlan
+from repro.sim.lowering import lower_schedule
+from repro.sim.machine import IPSC_D7, UNIT_COST, MachineParams
+from repro.sim.ports import PortModel
+from repro.sim.schedule import Schedule, Transfer
+from repro.sim.vectorized import run_async_vectorized
+from repro.topology.hypercube import Hypercube
+from repro.trees.hamiltonian import HamiltonianPathTree
+from repro.trees.tcbt import TwoRootedCompleteBinaryTree
+
+MACHINES = [
+    IPSC_D7,
+    UNIT_COST,
+    MachineParams(tau=0.5, t_c=2.0, overlap=0.3, name="overlap-heavy"),
+]
+
+CUBE = Hypercube(4)
+
+
+def _schedules(source: int, port_model: PortModel):
+    """(name, schedule, initial holdings) for every algorithm family."""
+    out = []
+    for name, sched in [
+        ("sbt-broadcast", sbt_broadcast_schedule(CUBE, source, 37, 8, port_model)),
+        ("msbt-broadcast", msbt_broadcast_schedule(CUBE, source, 37, 8, port_model)),
+        (
+            "tcbt-broadcast",
+            tree_broadcast_schedule(
+                TwoRootedCompleteBinaryTree(CUBE, source), 37, 8, port_model
+            ),
+        ),
+        (
+            "hp-broadcast",
+            tree_broadcast_schedule(
+                HamiltonianPathTree(CUBE, source), 37, 8, port_model
+            ),
+        ),
+        (
+            "dual-hp-broadcast",
+            dual_hp_broadcast_schedule(CUBE, source, 37, 8, port_model),
+        ),
+        ("bst-scatter", bst_scatter_schedule(CUBE, source, 37, 8, port_model)),
+        ("sbt-scatter", sbt_scatter_schedule(CUBE, source, 37, 8, port_model)),
+    ]:
+        out.append((name, sched, {source: set(sched.chunk_sizes)}))
+    ag = allgather_schedule(CUBE, 11, port_model)
+    out.append(
+        (
+            "allgather",
+            ag,
+            {v: {c for c in ag.chunk_sizes if c[1] == v} for v in CUBE.nodes()},
+        )
+    )
+    return out
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+@pytest.mark.parametrize("port_model", list(PortModel), ids=lambda p: p.value)
+@pytest.mark.parametrize("source", [0, 5])
+def test_vectorized_matches_indexed_and_reference(source, port_model, machine):
+    for name, sched, init in _schedules(source, port_model):
+        vec = run_async_vectorized(
+            CUBE, sched, port_model, {k: set(v) for k, v in init.items()}, machine
+        )
+        idx = run_async(
+            CUBE, sched, port_model, {k: set(v) for k, v in init.items()}, machine
+        )
+        ref = run_async_reference(
+            CUBE, sched, port_model, {k: set(v) for k, v in init.items()}, machine
+        )
+        assert vec.time == idx.time == ref.time, name
+        assert vec.holdings == idx.holdings == ref.holdings, name
+        assert vec.link_stats == idx.link_stats == ref.link_stats, name
+        assert vec.transfers_executed == idx.transfers_executed, name
+        # the reference appends in execution order; both production
+        # engines sort ascending
+        assert vec.start_times == idx.start_times == sorted(ref.start_times), name
+
+
+#: fault plans for the differential matrix — immediate links/nodes,
+#: combinations, and time-activated variants (cube-4 addresses)
+FAULT_PLANS = [
+    FaultPlan(dead_links=[(0, 1)]),
+    FaultPlan(dead_links=[(2, 6), (4, 5)]),
+    FaultPlan(dead_nodes=[6]),
+    FaultPlan(dead_links=[(0, 8)], dead_nodes=[9]),
+    FaultPlan(dead_links=[(0, 1, 40.0)]),
+    FaultPlan(dead_nodes=[(3, 25.0)]),
+]
+
+
+def _run_or_fault(engine, sched, port_model, init, machine, plan, mode):
+    try:
+        return engine(
+            CUBE, sched, port_model, {k: set(v) for k, v in init.items()},
+            machine, faults=plan, on_fault=mode,
+        )
+    except FaultError as err:
+        return err
+
+
+@pytest.mark.parametrize("mode", ["raise", "report"])
+@pytest.mark.parametrize("port_model", list(PortModel), ids=lambda p: p.value)
+def test_fault_matrix_vectorized_agrees(port_model, mode):
+    """Under every fault plan, the vectorized engine and the indexed
+    engine produce the same outcome: same FaultError (edge, node, time)
+    in raise mode; bit-identical results — degraded or not — in report
+    mode, including the undelivered map and the cancelled-event set."""
+    for name, sched, init in _schedules(0, port_model):
+        for plan in FAULT_PLANS:
+            vec = _run_or_fault(
+                run_async_vectorized, sched, port_model, init, UNIT_COST,
+                plan, mode,
+            )
+            idx = _run_or_fault(
+                run_async, sched, port_model, init, UNIT_COST, plan, mode
+            )
+            label = f"{name}/{plan!r}/{mode}"
+            assert type(vec) is type(idx), label
+            if isinstance(vec, FaultError):
+                assert vec.edge == idx.edge, label
+                assert vec.node == idx.node, label
+                assert vec.time == idx.time, label
+                assert vec.chunks == idx.chunks, label
+                continue
+            assert vec.time == idx.time, label
+            assert vec.holdings == idx.holdings, label
+            assert vec.link_stats == idx.link_stats, label
+            assert sorted(vec.start_times) == sorted(idx.start_times), label
+            if isinstance(vec, DegradedResult):
+                assert vec.undelivered == idx.undelivered, label
+                assert vec.transfers_lost == idx.transfers_lost, label
+                assert set(vec.fault_events) == set(idx.fault_events), label
+
+
+def test_vectorized_deadlock_diagnosis():
+    """Unsatisfiable payload dependencies raise, not spin."""
+    sched = Schedule(
+        rounds=[(Transfer(2, 3, frozenset({("b", 0)})),)],
+        chunk_sizes={("b", 0): 4},
+        algorithm="broken",
+        meta={},
+    )
+    with pytest.raises(RuntimeError, match="deadlock"):
+        run_async_vectorized(
+            CUBE, sched, PortModel.ONE_PORT_FULL, {1: {("b", 0)}}, UNIT_COST
+        )
+
+
+def test_vectorized_circular_dependency_deadlocks():
+    sched = Schedule(
+        rounds=[
+            (
+                Transfer(0, 1, frozenset({("b", 0)})),
+                Transfer(1, 0, frozenset({("b", 1)})),
+            ),
+        ],
+        chunk_sizes={("b", 0): 4, ("b", 1): 4},
+        algorithm="broken",
+        meta={},
+    )
+    with pytest.raises(RuntimeError, match="deadlock"):
+        run_async_vectorized(
+            CUBE,
+            sched,
+            PortModel.ONE_PORT_FULL,
+            {0: {("b", 1)}, 1: {("b", 0)}},
+            UNIT_COST,
+        )
+
+
+def test_vectorized_accepts_prelowered_schedule():
+    """Passing ``lowered=`` skips re-lowering but changes nothing."""
+    sched = msbt_broadcast_schedule(CUBE, 0, 37, 8, PortModel.ONE_PORT_FULL)
+    init = {0: set(sched.chunk_sizes)}
+    low = lower_schedule(CUBE, sched, {0: set(sched.chunk_sizes)})
+    a = run_async_vectorized(
+        CUBE, sched, PortModel.ONE_PORT_FULL, {0: set(sched.chunk_sizes)},
+        IPSC_D7, lowered=low,
+    )
+    b = run_async_vectorized(
+        CUBE, sched, PortModel.ONE_PORT_FULL, init, IPSC_D7
+    )
+    assert a.time == b.time and a.start_times == b.start_times
+    assert low.table_bytes > 0
+
+
+# -- property-based equivalence ---------------------------------------
+
+
+@st.composite
+def bcast_params(draw):
+    n = draw(st.integers(min_value=2, max_value=4))
+    B = draw(st.integers(min_value=1, max_value=16))
+    packets = draw(st.integers(min_value=1, max_value=12))
+    M = B * packets - draw(st.integers(min_value=0, max_value=B - 1))
+    pm = draw(st.sampled_from(list(PortModel)))
+    source = draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    return n, M, B, pm, source
+
+
+@settings(max_examples=40, deadline=None)
+@given(bcast_params(), st.sampled_from(["sbt", "msbt"]))
+def test_property_vectorized_bit_identical(params, algo):
+    n, M, B, pm, source = params
+    cube = Hypercube(n)
+    gen = sbt_broadcast_schedule if algo == "sbt" else msbt_broadcast_schedule
+    sched = gen(cube, source, M, B, pm)
+    init = {source: set(sched.chunk_sizes)}
+    vec = run_async_vectorized(cube, sched, pm, {source: set(init[source])}, IPSC_D7)
+    idx = run_async(cube, sched, pm, {source: set(init[source])}, IPSC_D7)
+    assert vec.time == idx.time
+    assert vec.holdings == idx.holdings
+    assert vec.start_times == idx.start_times
+    assert vec.link_stats == idx.link_stats
+
+
+# -- admission-prefilter kernel ---------------------------------------
+
+
+def test_prefilter_numpy_semantics():
+    ready = np.array([0.0, 5.0, 1.0, np.inf, 2.0])
+    vc = np.array([0.0, 0.0, 9.0, 0.0, 2.0])
+    idx = np.arange(5, dtype=np.int64)
+    out = _prefilter_numpy(idx, ready, vc, 2.0)
+    # kept iff ready <= limit AND vc <= limit
+    assert out.tolist() == [0, 4]
+    empty = _prefilter_numpy(np.array([1, 3], dtype=np.int64), ready, vc, 2.0)
+    assert empty.tolist() == []
+
+
+def test_prefilter_active_matches_fallback():
+    """Whatever implementation is bound, it must match the fallback."""
+    rng = np.random.default_rng(7)
+    ready = rng.uniform(0, 10, size=64)
+    vc = rng.uniform(0, 10, size=64)
+    vc[::7] = np.inf
+    idx = np.asarray(rng.permutation(64)[:40], dtype=np.int64)
+    got = prefilter(idx, ready, vc, 5.0)
+    want = _prefilter_numpy(idx, ready, vc, 5.0)
+    assert sorted(got.tolist()) == sorted(want.tolist())
+
+
+def test_numba_gate_honours_environment():
+    """With REPRO_NO_NUMBA set (or numba absent) the fallback is bound."""
+    if os.environ.get("REPRO_NO_NUMBA"):
+        assert not HAVE_NUMBA
+        assert prefilter is _prefilter_numpy
+    elif not HAVE_NUMBA:
+        # numba not installed: the canonical NumPy path serves
+        assert prefilter is _prefilter_numpy
+
+
+# -- dispatch and plumbing --------------------------------------------
+
+
+def test_resolve_engine_default_and_env(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert resolve_engine() == "indexed"
+    assert resolve_engine("vectorized") == "vectorized"
+    monkeypatch.setenv("REPRO_ENGINE", "vectorized")
+    assert resolve_engine() == "vectorized"
+    assert resolve_engine("reference") == "reference"
+    with pytest.raises(ValueError, match="unknown engine"):
+        resolve_engine("bogus")
+    monkeypatch.setenv("REPRO_ENGINE", "bogus")
+    with pytest.raises(ValueError, match="unknown engine"):
+        resolve_engine()
+
+
+def test_get_engine_returns_runners(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert get_engine() is run_async
+    assert get_engine("indexed") is run_async
+    assert get_engine("vectorized") is run_async_vectorized
+    assert get_engine("reference") is run_async_reference
+    assert set(ENGINES) == {"indexed", "vectorized", "reference"}
+
+
+def test_collectives_engine_parameter():
+    cube = Hypercube(4)
+    a = broadcast(cube, 0, "msbt", 64, 8, machine=IPSC_D7, run_event_sim=True)
+    b = broadcast(
+        cube, 0, "msbt", 64, 8, machine=IPSC_D7, run_event_sim=True,
+        engine="vectorized",
+    )
+    assert a.time == b.time
+    assert a.async_.start_times == b.async_.start_times
+    with pytest.raises(ValueError, match="unknown engine"):
+        broadcast(
+            cube, 0, "msbt", 64, 8, run_event_sim=True, engine="bogus"
+        )
+
+
+def _sweep_point(n: int) -> float:
+    res = broadcast(
+        Hypercube(n), 0, "sbt", 32, 8, machine=IPSC_D7, run_event_sim=True
+    )
+    return res.time
+
+
+def test_run_sweep_exports_engine(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    serial = run_sweep(_sweep_point, [{"n": 3}, {"n": 4}])
+    vec = run_sweep(_sweep_point, [{"n": 3}, {"n": 4}], engine="vectorized")
+    assert serial.values == vec.values
+    # the export is scoped to the sweep
+    assert "REPRO_ENGINE" not in os.environ
+    with pytest.raises(ValueError, match="unknown engine"):
+        run_sweep(_sweep_point, [{"n": 3}], engine="bogus")
+
+
+def test_table_bytes_gauge_tracks_peak():
+    sched = msbt_broadcast_schedule(CUBE, 0, 128, 16, PortModel.ONE_PORT_FULL)
+    prev = REGISTRY.enabled
+    REGISTRY.configure(enabled=True)
+    try:
+        ENGINE_TABLE_BYTES_PEAK.set(0)
+        run_async_vectorized(
+            CUBE, sched, PortModel.ONE_PORT_FULL,
+            {0: set(sched.chunk_sizes)}, IPSC_D7,
+        )
+        low = lower_schedule(CUBE, sched, {0: set(sched.chunk_sizes)})
+        assert ENGINE_TABLE_BYTES_PEAK.value == low.table_bytes
+    finally:
+        REGISTRY.configure(enabled=prev)
