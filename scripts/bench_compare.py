@@ -13,6 +13,9 @@ the repo root:
 * ``--suite runtime``: ``benchmarks/bench_runtime.py`` vs
   ``BENCH_RUNTIME.json`` — the actor runtime (collective execution,
   fault repair, one differential runtime-vs-engine check).
+* ``--suite service``: ``benchmarks/bench_service.py`` vs
+  ``BENCH_SERVICE.json`` — the multi-tenant collective service
+  (scenario runs per policy, plus the admission-constrained path).
 
 * ``python scripts/bench_compare.py`` — fail (exit 1) when any median
   exceeds its baseline by more than ``--threshold`` (default 50%) *and*
@@ -45,6 +48,7 @@ SUITES = {
     "engine": ("benchmarks/bench_regression.py", "BENCH_ENGINE.json"),
     "sweep": ("benchmarks/bench_sweep.py", "BENCH_SWEEP.json"),
     "runtime": ("benchmarks/bench_runtime.py", "BENCH_RUNTIME.json"),
+    "service": ("benchmarks/bench_service.py", "BENCH_SERVICE.json"),
 }
 
 

@@ -9,6 +9,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro scatter --dim 5 --algorithm bst -M 64 --ports all
     python -m repro broadcast --dim 4 --backend runtime \
         --dead-link 0:1 --on-fault repair --trace-chrome trace.json
+    python -m repro service list     # scenarios & scheduling policies
+    python -m repro service run --scenario smoke-mix --policy fair-share \
+        --seed 7 --metrics-json metrics.json
 
 ``table``, ``figure`` and ``sweep`` accept ``--jobs N`` (default:
 ``REPRO_JOBS`` or serial; 0 = all cores) to fan the experiment's point
@@ -38,6 +41,7 @@ from repro.sim.faults import FaultError, FaultPlan
 from repro.sim.machine import IPSC_D7, MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.validate import profile_schedule
+from repro.service import POLICIES, AdmissionControl, run_service
 from repro.topology.hypercube import Hypercube
 
 __all__ = ["main", "build_parser"]
@@ -122,6 +126,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-json", default=None, metavar="PATH",
         help="write per-point timing/cache telemetry for every target "
              "to PATH as JSON")
+
+    svc = sub.add_parser(
+        "service",
+        help="multi-tenant collective service (concurrent jobs, one cube)",
+    )
+    svc_sub = svc.add_subparsers(dest="service_command", required=True)
+    svc_sub.add_parser(
+        "list", help="list workload scenarios and scheduling policies")
+    sr = svc_sub.add_parser(
+        "run", help="run a named scenario through the service scheduler")
+    sr.add_argument("--scenario", required=True, metavar="NAME",
+                    help="workload scenario (see 'repro service list')")
+    sr.add_argument("--policy", choices=sorted(POLICIES), default="fifo",
+                    help="scheduling policy for contention priority")
+    sr.add_argument("--seed", type=int, default=0,
+                    help="workload seed (same seed -> same job list)")
+    sr.add_argument("--jobs", "-j", type=int, default=None,
+                    help="worker processes for schedule pregeneration "
+                         "(default: REPRO_JOBS or 1; 0 = all cores); "
+                         "output is identical at any worker count")
+    sr.add_argument("--ports", choices=sorted(_PORT_CHOICES), default="full",
+                    help="port model: half (1 s or r), full (1 s and r), all")
+    sr.add_argument("--ipsc", action="store_true",
+                    help="use the iPSC/d7 machine model for transfer costs")
+    sr.add_argument("--max-in-flight", type=int, default=None, metavar="N",
+                    help="admission control: at most N jobs on the cube")
+    sr.add_argument("--max-in-flight-per-tenant", type=int, default=None,
+                    metavar="N",
+                    help="admission control: at most N jobs per tenant "
+                         "on the cube")
+    sr.add_argument("--queue-cap", type=int, default=None, metavar="N",
+                    help="admission control: reject arrivals once N jobs "
+                         "are waiting")
+    sr.add_argument("--dead-link", action="append", default=[],
+                    metavar="A:B", dest="dead_links",
+                    help="fail the link between nodes A and B mid-stream "
+                         "(repeatable)")
+    sr.add_argument("--dead-node", action="append", default=[], type=int,
+                    metavar="V", dest="dead_nodes",
+                    help="fail node V entirely (repeatable)")
+    sr.add_argument("--on-fault", choices=("raise", "report"),
+                    default="raise",
+                    help="raise on lost deliveries, or report and mark "
+                         "only the jobs whose trees cross dead hardware "
+                         "as degraded")
+    _add_obs_options(sr)
 
     for name, algos in (("broadcast", BROADCAST_ALGORITHMS), ("scatter", SCATTER_ALGORITHMS)):
         c = sub.add_parser(name, help=f"simulate a {name} and report costs")
@@ -222,6 +272,79 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_service_command(args: argparse.Namespace) -> int:
+    from repro.experiments import SCENARIOS, get_scenario
+
+    if args.service_command == "list":
+        print("scenarios:")
+        for name in sorted(SCENARIOS):
+            print(f"  {name:<18} {SCENARIOS[name].description}")
+        print("policies:")
+        for name in sorted(POLICIES):
+            print(f"  {name:<18} {POLICIES[name].__doc__.splitlines()[0]}")
+        return 0
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    specs = scenario.build(args.seed)
+    admission = AdmissionControl(
+        max_in_flight_per_tenant=args.max_in_flight_per_tenant,
+        max_in_flight_total=args.max_in_flight,
+        queue_cap=args.queue_cap,
+    )
+    faults = None
+    if args.dead_links or args.dead_nodes:
+        faults = FaultPlan(
+            dead_links=[_parse_dead_link(s) for s in args.dead_links],
+            dead_nodes=args.dead_nodes,
+        )
+    try:
+        result = run_service(
+            Hypercube(scenario.dimension),
+            specs,
+            port_model=_PORT_CHOICES[args.ports],
+            machine=IPSC_D7 if args.ipsc else None,
+            policy=args.policy,
+            admission=admission,
+            faults=faults,
+            on_fault=args.on_fault,
+            jobs=args.jobs,
+        )
+    except FaultError as exc:
+        print(f"fault: {exc}", file=sys.stderr)
+        return 1
+    unit = " s (iPSC/d7)" if args.ipsc else ""
+    print(f"service run: scenario {scenario.name!r} on n={scenario.dimension} "
+          f"cube, policy {result.policy}, seed {args.seed}")
+    print(f"  jobs submitted    : {len(result.jobs)}")
+    print(f"  jobs accepted     : {len(result.accepted)}")
+    if result.rejected:
+        print(f"  jobs rejected     : {len(result.rejected)}")
+    degraded = sum(1 for j in result.accepted if j.degraded)
+    if degraded:
+        print(f"  jobs degraded     : {degraded}")
+    print(f"  makespan          : {result.makespan:.6g}{unit}")
+    header = (f"  {'tenant':<12} {'jobs':>4} {'cmpl p50':>10} "
+              f"{'cmpl p99':>10} {'queue p50':>10} {'queue p99':>10}")
+    print(header)
+    for tenant, metrics in result.latency_summary().items():
+        cmpl = metrics["completion_time"]
+        queue = metrics["queueing_delay"]
+        print(f"  {tenant:<12} {int(cmpl['count']):>4} {cmpl['p50']:>10.4g} "
+              f"{cmpl['p99']:>10.4g} {queue['p50']:>10.4g} "
+              f"{queue['p99']:>10.4g}")
+    _write_metrics(
+        args,
+        scenario=scenario.name,
+        seed=args.seed,
+        service=result.to_dict(),
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -262,6 +385,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "sweep":
         return _run_sweep_command(args)
+
+    if args.command == "service":
+        return _run_service_command(args)
 
     cube = Hypercube(args.dim)
     port_model = _PORT_CHOICES[args.ports]

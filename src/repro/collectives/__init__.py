@@ -6,6 +6,8 @@ from repro.collectives.api import (
     allreduce,
     alltoall_personalized,
     broadcast,
+    check_delivery,
+    collective_schedule,
     gather,
     reduce,
     scatter,
@@ -18,6 +20,8 @@ __all__ = [
     "allreduce",
     "alltoall_personalized",
     "broadcast",
+    "check_delivery",
+    "collective_schedule",
     "gather",
     "reduce",
     "scatter",

@@ -64,10 +64,23 @@ __all__ = [
     "allreduce",
     "allgather",
     "alltoall_personalized",
+    "collective_schedule",
+    "check_delivery",
 ]
 
 BROADCAST_ALGORITHMS = ("sbt", "msbt", "tcbt", "hp", "hp-centered", "hp-dual")
 SCATTER_ALGORITHMS = ("sbt", "bst", "tcbt")
+
+#: rooted/rootless collective kinds `collective_schedule` can build
+SCHEDULE_OPS = ("broadcast", "scatter", "allgather", "alltoall")
+
+#: default algorithm per collective kind
+DEFAULT_ALGORITHMS = {
+    "broadcast": "msbt",
+    "scatter": "bst",
+    "allgather": "dimension-exchange",
+    "alltoall": "dimension-exchange",
+}
 
 #: execution backends: ``"sim"`` replays a centrally generated schedule
 #: through the engines; ``"runtime"`` executes the operation on the
@@ -630,6 +643,119 @@ def alltoall_personalized(
             raise AssertionError(f"total exchange incomplete at node {v}")
     collector.finalize(result)
     return result
+
+
+def collective_schedule(
+    cube: Hypercube,
+    op: str,
+    algorithm: str | None = None,
+    source: int = 0,
+    message_elems: int = 1,
+    packet_elems: int | None = None,
+    port_model: PortModel = PortModel.ONE_PORT_FULL,
+    subtree_order: str = "depth_first",
+) -> tuple[Schedule, dict[int, set[Chunk]]]:
+    """Build the schedule + initial holdings for one collective job.
+
+    The schedule-generation halves of :func:`broadcast`, :func:`scatter`,
+    :func:`allgather` and :func:`alltoall_personalized`, exposed as one
+    entry point that does *not* run any engine — the service layer
+    (:mod:`repro.service`) uses it to compose many jobs into a single
+    merged program before execution.
+
+    Args:
+        cube: the host cube.
+        op: one of ``SCHEDULE_OPS`` (``"broadcast"``, ``"scatter"``,
+            ``"allgather"``, ``"alltoall"``).
+        algorithm: algorithm within the op (default per op:
+            ``DEFAULT_ALGORITHMS``).
+        source: root node (rooted ops only; ignored for
+            ``allgather``/``alltoall``).
+        message_elems: message size ``M`` (per destination for the
+            personalized ops).
+        packet_elems: maximum packet size ``B`` (default ``M``; the
+            rootless ops pack one message per packet regardless).
+        port_model: port model the schedule must respect.
+        subtree_order: BST in-subtree transmission order (§5.2).
+
+    Returns:
+        ``(schedule, initial_holdings)`` ready for any engine.
+    """
+    if op not in SCHEDULE_OPS:
+        raise ValueError(f"op must be one of {SCHEDULE_OPS}, got {op!r}")
+    algorithm = algorithm or DEFAULT_ALGORITHMS[op]
+    packet_elems = message_elems if packet_elems is None else packet_elems
+    if op == "broadcast":
+        sched = _broadcast_schedule(
+            cube, source, algorithm, message_elems, packet_elems, port_model
+        )
+        return sched, {source: set(sched.chunk_sizes)}
+    if op == "scatter":
+        sched = _scatter_schedule(
+            cube, source, algorithm, message_elems, packet_elems,
+            port_model, subtree_order,
+        )
+        return sched, {source: set(sched.chunk_sizes)}
+    if op == "allgather":
+        if algorithm != "dimension-exchange":
+            raise ValueError(
+                f"allgather implements 'dimension-exchange', got {algorithm!r}"
+            )
+        return (
+            allgather_schedule(cube, message_elems, port_model),
+            allgather_initial_holdings(cube),
+        )
+    # op == "alltoall"
+    if algorithm == "dimension-exchange":
+        sched = alltoall_personalized_schedule(cube, message_elems, port_model)
+    elif algorithm == "bst":
+        if port_model is not PortModel.ALL_PORT:
+            raise ValueError("the N-BST total exchange requires the all-port model")
+        from repro.routing.alltoall import alltoall_bst_schedule
+
+        sched = alltoall_bst_schedule(cube, message_elems)
+    else:
+        raise ValueError(
+            f"unknown total-exchange algorithm {algorithm!r}; "
+            "pick 'dimension-exchange' or 'bst'"
+        )
+    return sched, alltoall_initial_holdings(cube)
+
+
+def check_delivery(
+    cube: Hypercube,
+    op: str,
+    source: int,
+    schedule: Schedule,
+    holdings: dict[int, set[Chunk]],
+) -> dict[int, set[Chunk]]:
+    """Chunks each node should hold after ``op`` but does not.
+
+    Mirrors the per-op delivery assertions of the high-level functions,
+    but over a bare holdings map (e.g. one job's
+    :func:`repro.sim.multi.untag_holdings` view of a merged service
+    run) and reporting instead of raising.  Empty result = complete.
+    """
+    if op not in SCHEDULE_OPS:
+        raise ValueError(f"op must be one of {SCHEDULE_OPS}, got {op!r}")
+    missing: dict[int, set[Chunk]] = {}
+    chunks = schedule.chunk_sizes
+    for v in cube.nodes():
+        have = holdings.get(v, set())
+        if op == "broadcast":
+            want = set(chunks)
+        elif op == "scatter":
+            if v == source:
+                continue
+            want = {c for c in chunks if c[1] == v}
+        elif op == "allgather":
+            want = set(chunks)
+        else:  # alltoall: every chunk addressed to v (c[2] = destination)
+            want = {c for c in chunks if c[2] == v}
+        short = want - have
+        if short:
+            missing[v] = short
+    return missing
 
 
 def _check_broadcast_delivery(

@@ -7,6 +7,7 @@ are identical (see that module for the determinism contract).
 
 from repro.experiments.export import to_csv, to_json, write_report
 from repro.experiments.figures import run_fig5, run_fig6, run_fig7, run_fig8
+from repro.experiments.injector import TenantProfile, poisson_jobs
 from repro.experiments.parallel import (
     PointStats,
     SweepResult,
@@ -16,6 +17,7 @@ from repro.experiments.parallel import (
     sweep_grid,
 )
 from repro.experiments.scatter_sweep import run_scatter_packet_sweep
+from repro.experiments.scenarios import SCENARIOS, Scenario, get_scenario
 from repro.experiments.harness import TableReport, format_table, relative_error
 from repro.experiments.tables import (
     PAPER_TABLE5,
@@ -29,8 +31,13 @@ from repro.experiments.tables import (
 
 __all__ = [
     "PointStats",
+    "SCENARIOS",
+    "Scenario",
     "SweepResult",
     "SweepStats",
+    "TenantProfile",
+    "get_scenario",
+    "poisson_jobs",
     "resolve_jobs",
     "run_sweep",
     "sweep_grid",

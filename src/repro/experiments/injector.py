@@ -1,0 +1,104 @@
+"""Open-loop Poisson job injection for the multi-tenant service.
+
+The service's workload model is *open-loop*: tenants submit on their
+own clocks, regardless of how backed up the cube is (the standard
+stress model for admission control — a closed loop would self-throttle
+and never exercise the queue caps).  Each :class:`TenantProfile` is an
+independent Poisson process: interarrival times are drawn from
+``Expovariate(rate)`` until the horizon, and every arrival picks its
+collective kind, root and message size from the profile's choices.
+
+Determinism: every profile derives its own ``random.Random`` from
+``f"{seed}:{tenant}"`` (string seeding hashes via SHA-512, stable
+across processes and platforms, unlike ``hash()``), so a scenario's
+job list is a pure function of ``(profiles, horizon, dimension,
+seed)`` — the property the determinism regression tests pin down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.service.jobs import JobSpec
+
+__all__ = ["TenantProfile", "poisson_jobs"]
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's statistical workload description.
+
+    Attributes:
+        tenant: tenant name.
+        rate: mean arrivals per unit of simulated time (Poisson
+            intensity λ).
+        ops: collective kinds to draw from, uniformly.
+        message_elems: message sizes ``M`` to draw from, uniformly.
+        packet_elems: packet size ``B`` for every job (``None`` = one
+            packet per message).
+        priority: strict-priority rank of every job.
+        sources: root nodes to draw from (``None`` = uniform over the
+            cube; ignored by the rootless ops).
+    """
+
+    tenant: str
+    rate: float
+    ops: tuple[str, ...] = ("broadcast",)
+    message_elems: tuple[int, ...] = (64,)
+    packet_elems: int | None = None
+    priority: int = 0
+    sources: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if not self.ops or not self.message_elems:
+            raise ValueError("ops and message_elems must be non-empty")
+
+
+def poisson_jobs(
+    profiles: "list[TenantProfile] | tuple[TenantProfile, ...]",
+    horizon: float,
+    dimension: int,
+    seed: int = 0,
+) -> list[JobSpec]:
+    """Draw every profile's arrivals over ``[0, horizon)`` and merge.
+
+    Returns the combined job list sorted by ``(arrival, tenant,
+    draw index)`` — the submission order a service run consumes.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    num_nodes = 1 << dimension
+    drawn: list[tuple[float, str, int, JobSpec]] = []
+    for profile in profiles:
+        rng = random.Random(f"{seed}:{profile.tenant}")
+        t = 0.0
+        idx = 0
+        while True:
+            t += rng.expovariate(profile.rate)
+            if t >= horizon:
+                break
+            op = profile.ops[rng.randrange(len(profile.ops))]
+            m = profile.message_elems[
+                rng.randrange(len(profile.message_elems))
+            ]
+            if profile.sources is not None:
+                source = profile.sources[
+                    rng.randrange(len(profile.sources))
+                ]
+            else:
+                source = rng.randrange(num_nodes)
+            drawn.append((t, profile.tenant, idx, JobSpec(
+                tenant=profile.tenant,
+                op=op,
+                source=source if op in ("broadcast", "scatter") else 0,
+                message_elems=m,
+                packet_elems=profile.packet_elems,
+                priority=profile.priority,
+                arrival=t,
+            )))
+            idx += 1
+    drawn.sort(key=lambda d: (d[0], d[1], d[2]))
+    return [d[3] for d in drawn]

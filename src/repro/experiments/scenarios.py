@@ -1,0 +1,179 @@
+"""Named multi-tenant workload scenarios for the service CLI and CI.
+
+A :class:`Scenario` bundles a cube size with a seeded job-list builder
+so a service run is reproducible from its name + seed alone
+(``repro service run --scenario three-tenant-n10 --seed 7``).  The
+builders draw from the open-loop Poisson injector
+(:mod:`repro.experiments.injector`); a scenario with the same seed
+always yields the same job list, byte for byte.
+
+Registry:
+
+=================== ====================================================
+``smoke-mix``       n=6, two tenants, ~half a dozen mixed
+                    broadcast/scatter jobs — the CI smoke workload
+``three-tenant-n10`` n=10, three tenants, mixed broadcast/scatter at
+                    realistic M/B — the acceptance-scale scenario
+``priority-tiers``  n=8, a latency-critical tenant (priority 10) over
+                    a bulk tenant (priority 0) — shows the strict
+                    priority policy cutting the queue
+``hog-vs-mice``     n=8, one tenant streaming huge broadcasts vs two
+                    light tenants — the fair-share showcase
+=================== ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.injector import TenantProfile, poisson_jobs
+from repro.service.jobs import JobSpec
+
+__all__ = ["Scenario", "SCENARIOS", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded multi-tenant workload on a fixed cube size.
+
+    Attributes:
+        name: registry key.
+        description: one-line summary for ``repro service list``.
+        dimension: hypercube dimension the jobs are drawn for.
+        builder: ``seed -> job list`` (pure, deterministic).
+    """
+
+    name: str
+    description: str
+    dimension: int
+    builder: Callable[[int], list[JobSpec]]
+
+    def build(self, seed: int = 0) -> list[JobSpec]:
+        """The scenario's job list for ``seed``."""
+        return self.builder(seed)
+
+
+def _smoke_mix(seed: int) -> list[JobSpec]:
+    return poisson_jobs(
+        [
+            TenantProfile(
+                tenant="ant", rate=1 / 300.0,
+                ops=("broadcast", "scatter"),
+                message_elems=(16, 32), packet_elems=8,
+            ),
+            TenantProfile(
+                tenant="bee", rate=1 / 400.0,
+                ops=("scatter",), message_elems=(16,), packet_elems=8,
+            ),
+        ],
+        horizon=1500.0, dimension=6, seed=seed,
+    )
+
+
+def _three_tenant_n10(seed: int) -> list[JobSpec]:
+    return poisson_jobs(
+        [
+            TenantProfile(
+                tenant="alpha", rate=1 / 800.0,
+                ops=("broadcast",), message_elems=(64, 128),
+                packet_elems=16,
+            ),
+            TenantProfile(
+                tenant="beta", rate=1 / 1200.0,
+                ops=("scatter",), message_elems=(8, 16),
+                packet_elems=8,
+            ),
+            TenantProfile(
+                tenant="gamma", rate=1 / 1100.0,
+                ops=("broadcast", "scatter"), message_elems=(32,),
+                packet_elems=16,
+            ),
+        ],
+        horizon=3000.0, dimension=10, seed=seed,
+    )
+
+
+def _priority_tiers(seed: int) -> list[JobSpec]:
+    return poisson_jobs(
+        [
+            TenantProfile(
+                tenant="latency", rate=1 / 600.0,
+                ops=("broadcast",), message_elems=(16,),
+                packet_elems=8, priority=10,
+            ),
+            TenantProfile(
+                tenant="bulk", rate=1 / 350.0,
+                ops=("broadcast", "scatter"), message_elems=(128, 256),
+                packet_elems=32,
+            ),
+        ],
+        horizon=2500.0, dimension=8, seed=seed,
+    )
+
+
+def _hog_vs_mice(seed: int) -> list[JobSpec]:
+    return poisson_jobs(
+        [
+            TenantProfile(
+                tenant="hog", rate=1 / 400.0,
+                ops=("broadcast",), message_elems=(512,),
+                packet_elems=64,
+            ),
+            TenantProfile(
+                tenant="mouse-1", rate=1 / 700.0,
+                ops=("scatter",), message_elems=(8,), packet_elems=8,
+            ),
+            TenantProfile(
+                tenant="mouse-2", rate=1 / 700.0,
+                ops=("broadcast",), message_elems=(8,), packet_elems=8,
+            ),
+        ],
+        horizon=2500.0, dimension=8, seed=seed,
+    )
+
+
+#: name -> scenario, the CLI registry
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            name="smoke-mix",
+            description="n=6, two tenants, small mixed broadcast/scatter "
+                        "stream (CI smoke)",
+            dimension=6,
+            builder=_smoke_mix,
+        ),
+        Scenario(
+            name="three-tenant-n10",
+            description="n=10, three tenants, mixed broadcast/scatter at "
+                        "realistic M/B",
+            dimension=10,
+            builder=_three_tenant_n10,
+        ),
+        Scenario(
+            name="priority-tiers",
+            description="n=8, latency-critical tenant (priority 10) over "
+                        "a bulk tenant",
+            dimension=8,
+            builder=_priority_tiers,
+        ),
+        Scenario(
+            name="hog-vs-mice",
+            description="n=8, one streaming hog vs two light tenants "
+                        "(fair-share showcase)",
+            dimension=8,
+            builder=_hog_vs_mice,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """The scenario registered under ``name``."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ValueError(
+            f"unknown scenario {name!r}; pick one of {sorted(SCENARIOS)}"
+        )
+    return scenario

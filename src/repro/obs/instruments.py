@@ -46,6 +46,12 @@ __all__ = [
     "RUNTIME_REPAIR_ROUNDS",
     "RUNTIME_RUN_SECONDS",
     "RUNTIME_TIMEOUTS",
+    "SERVICE_COMPLETION_TIME",
+    "SERVICE_JOBS",
+    "SERVICE_QUANTILES",
+    "SERVICE_QUEUEING_DELAY",
+    "SERVICE_RUN_SECONDS",
+    "SIM_TIME_BUCKETS",
     "SWEEP_CACHE_OPS",
     "SWEEP_POINT_SECONDS",
     "SWEEP_POINTS",
@@ -54,6 +60,7 @@ __all__ = [
     "SWEEP_WORKER_UTILIZATION",
     "engine_run_finished",
     "runtime_run_finished",
+    "service_run_finished",
     "sweep_finished",
 ]
 
@@ -171,6 +178,43 @@ SWEEP_CACHE_OPS = REGISTRY.counter(
     ("layer", "op"),
 )
 
+# -- multi-tenant service ---------------------------------------------
+
+#: histogram buckets in *simulated* time units — queueing delays and
+#: completion times scale with M/B and the machine's tau/t_c, so the
+#: range spans sub-unit waits to very long saturated-cube tails
+SIM_TIME_BUCKETS: tuple[float, ...] = (
+    1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 5e5, 1e6,
+)
+
+SERVICE_JOBS = REGISTRY.counter(
+    "repro_service_jobs_total",
+    "Collective jobs handled by the multi-tenant service.",
+    ("tenant", "policy", "outcome"),
+)
+SERVICE_QUEUEING_DELAY = REGISTRY.histogram(
+    "repro_service_queueing_delay",
+    "Simulated time between a job's arrival and its admission.",
+    ("tenant", "policy"),
+    buckets=SIM_TIME_BUCKETS,
+)
+SERVICE_COMPLETION_TIME = REGISTRY.histogram(
+    "repro_service_completion_time",
+    "Simulated time between a job's arrival and its last delivery.",
+    ("tenant", "policy"),
+    buckets=SIM_TIME_BUCKETS,
+)
+SERVICE_QUANTILES = REGISTRY.gauge(
+    "repro_service_quantiles",
+    "Exact per-run quantiles of the service latency distributions.",
+    ("tenant", "policy", "metric", "quantile"),
+)
+SERVICE_RUN_SECONDS = REGISTRY.histogram(
+    "repro_service_run_seconds",
+    "Wall-clock seconds per service run (admission loop + engine).",
+)
+
 # -- collectives ------------------------------------------------------
 
 COLLECTIVE_RUNS = REGISTRY.counter(
@@ -245,6 +289,46 @@ def runtime_run_finished(
     if faulted:
         RUNTIME_FAULTED_TRANSFERS.inc(faulted)
     RUNTIME_RUN_SECONDS.observe(seconds)
+
+
+def service_run_finished(result: Any, *, seconds: float) -> None:
+    """Flush one service run's telemetry (a ``ServiceResult``-like).
+
+    Observes every completed job's queueing delay and completion time
+    into the per-tenant histograms and publishes the run's *exact*
+    p50/p99 (computed from the raw samples by
+    ``ServiceResult.latency_summary``) as quantile gauges — the bucket
+    histograms give the shape, the gauges give the numbers CI asserts
+    on.
+    """
+    if not REGISTRY.enabled:
+        return
+    policy = result.policy
+    for job in result.jobs:
+        outcome = (
+            "rejected" if not job.accepted
+            else "degraded" if job.degraded
+            else "completed"
+        )
+        SERVICE_JOBS.labels(
+            tenant=job.tenant, policy=policy, outcome=outcome
+        ).inc()
+        if not job.accepted:
+            continue
+        SERVICE_QUEUEING_DELAY.labels(
+            tenant=job.tenant, policy=policy
+        ).observe(job.queueing_delay)
+        SERVICE_COMPLETION_TIME.labels(
+            tenant=job.tenant, policy=policy
+        ).observe(job.completion_time)
+    for tenant, summary in result.latency_summary().items():
+        for metric in ("completion_time", "queueing_delay"):
+            for quantile in ("p50", "p99"):
+                SERVICE_QUANTILES.labels(
+                    tenant=tenant, policy=policy,
+                    metric=metric, quantile=quantile,
+                ).set(summary[metric][quantile])
+    SERVICE_RUN_SECONDS.observe(seconds)
 
 
 def sweep_finished(stats: Any) -> None:

@@ -1,0 +1,51 @@
+"""repro.service — multi-tenant collective jobs on one shared cube.
+
+Everything below :mod:`repro.collectives` runs one collective at a
+time on an idle network.  This package is the service shape on top: a
+long-lived scheduler (:class:`CollectiveService`) admits a *stream* of
+jobs — tenant, collective kind, root, M/B, priority, arrival time —
+onto one shared hypercube and executes them **concurrently** on the
+vectorized event engine.  Shared-link contention is enforced by the
+same one-port/all-port admission rules as every standalone run; what
+the service adds is *arbitration*:
+
+* pluggable scheduling policies (:mod:`repro.service.policies`) —
+  FIFO, strict priority, fair-share over consumed link-time — realized
+  as program order in the merged schedule (program order is contention
+  priority in the event engines);
+* admission control (:class:`AdmissionControl`) — max in-flight per
+  tenant / in total, wait-queue caps with outright rejection;
+* per-job provenance (:mod:`repro.service.exec`) — one engine run is
+  split back into per-job completion times, link traffic and delivery
+  reports, bit-identical to standalone runs when jobs do not overlap;
+* per-tenant telemetry — queueing-delay and completion-time
+  histograms plus exact p50/p99 gauges through :mod:`repro.obs`.
+
+See ``docs/SERVICE.md`` for the scenario format and CLI
+(``repro service run --scenario ... --policy ...``).
+"""
+
+from repro.service.exec import ExecutionView, JobSlice, execute_program
+from repro.service.jobs import JobResult, JobSpec
+from repro.service.policies import POLICIES, SchedulingPolicy, resolve_policy
+from repro.service.scheduler import (
+    AdmissionControl,
+    CollectiveService,
+    ServiceResult,
+    run_service,
+)
+
+__all__ = [
+    "AdmissionControl",
+    "CollectiveService",
+    "ExecutionView",
+    "JobResult",
+    "JobSlice",
+    "JobSpec",
+    "POLICIES",
+    "SchedulingPolicy",
+    "ServiceResult",
+    "execute_program",
+    "resolve_policy",
+    "run_service",
+]

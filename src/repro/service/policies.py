@@ -1,0 +1,119 @@
+"""Scheduling policies: how admitted jobs rank in the merged program.
+
+Program order is contention priority in the event engines (rounds are
+priorities, not barriers — see :mod:`repro.sim.multi`), so a policy is
+nothing more than a *sort key over admitted jobs*: the merged program
+lists entries in key order, and whenever two jobs want the same link or
+port at the same instant, the earlier entry wins.
+
+Keys are **frozen at admission**.  A job's key never changes once it is
+on the cube, which keeps the scheduler's incremental re-simulation
+consistent (an admission at time ``t`` must not reorder transfers that
+already ran before ``t``) and makes runs reproducible by construction.
+
+Policies:
+
+* ``"fifo"`` — admission order; ties in arrival resolve by submission
+  order.
+* ``"priority"`` — strict priority (larger ``JobSpec.priority`` first),
+  admission order within a class.  Preemptive in the *link* sense: a
+  high-priority job admitted mid-stream outranks every queued transfer
+  of lower classes from its release instant on, but packets already in
+  flight complete (store-and-forward hardware does not drop a packet
+  mid-wire).
+* ``"fair-share"`` — jobs rank by their tenant's cumulative link-time
+  consumption at admission (least-consumed tenant first), so a tenant
+  burning the cube drifts to the back while light tenants cut ahead;
+  admission order breaks ties.
+"""
+
+from __future__ import annotations
+
+from repro.service.jobs import JobSpec
+
+__all__ = ["SchedulingPolicy", "POLICIES", "resolve_policy"]
+
+
+class SchedulingPolicy:
+    """A priority ranking over admitted jobs (see module docstring).
+
+    Subclasses implement :meth:`admission_key`; smaller keys run with
+    higher contention priority in the merged program.
+    """
+
+    #: registry name of the policy
+    name = "abstract"
+
+    #: True when :meth:`admission_key` ignores ``tenant_link_time`` —
+    #: i.e. the key is a pure function of the spec and admission order.
+    #: With unconstrained admission control the scheduler then knows
+    #: every key up front and runs a single merged simulation instead
+    #: of one per admission batch.
+    static_keys = False
+
+    def admission_key(
+        self,
+        spec: JobSpec,
+        admit_seq: int,
+        tenant_link_time: float,
+    ) -> tuple:
+        """The job's frozen priority key, computed at admission.
+
+        Args:
+            spec: the job being admitted.
+            admit_seq: monotone admission sequence number (tie-break).
+            tenant_link_time: simulated link-time the job's tenant had
+                consumed before this admission instant.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FifoPolicy(SchedulingPolicy):
+    """First admitted, first served."""
+
+    name = "fifo"
+    static_keys = True
+
+    def admission_key(self, spec, admit_seq, tenant_link_time):
+        return (admit_seq,)
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Strict priority classes, FIFO within a class."""
+
+    name = "priority"
+    static_keys = True
+
+    def admission_key(self, spec, admit_seq, tenant_link_time):
+        return (-spec.priority, admit_seq)
+
+
+class FairSharePolicy(SchedulingPolicy):
+    """Least link-time-consumed tenant first."""
+
+    name = "fair-share"
+
+    def admission_key(self, spec, admit_seq, tenant_link_time):
+        return (tenant_link_time, admit_seq)
+
+
+#: name -> policy class, the pluggable registry
+POLICIES: dict[str, type[SchedulingPolicy]] = {
+    cls.name: cls for cls in (FifoPolicy, PriorityPolicy, FairSharePolicy)
+}
+
+
+def resolve_policy(policy: "str | SchedulingPolicy") -> SchedulingPolicy:
+    """An instance for ``policy`` (a name from :data:`POLICIES` or an
+    already-built :class:`SchedulingPolicy`, passed through)."""
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    cls = POLICIES.get(policy)
+    if cls is None:
+        raise ValueError(
+            f"unknown policy {policy!r}; pick one of {sorted(POLICIES)}"
+        )
+    return cls()

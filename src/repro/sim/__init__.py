@@ -17,9 +17,16 @@ which compiles the schedule to flat NumPy tables via
 
 from repro.sim.dispatch import ENGINES, get_engine, resolve_engine
 from repro.sim.engine import AsyncResult, run_async
-from repro.sim.faults import DegradedResult, FaultError, FaultEvent, FaultPlan
+from repro.sim.faults import (
+    DegradedResult,
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+    TransferLog,
+)
 from repro.sim.lowering import LoweredSchedule, lower_schedule
 from repro.sim.machine import IPSC_D7, UNIT_COST, ZERO_STARTUP, MachineParams
+from repro.sim.multi import JobEntry, MergedProgram, merge_programs, untag_holdings
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer, merge_schedules
 from repro.sim.synchronous import SyncResult, check_round_constraints, run_synchronous
@@ -39,6 +46,11 @@ __all__ = [
     "FaultError",
     "FaultEvent",
     "FaultPlan",
+    "TransferLog",
+    "JobEntry",
+    "MergedProgram",
+    "merge_programs",
+    "untag_holdings",
     "IPSC_D7",
     "UNIT_COST",
     "ZERO_STARTUP",

@@ -55,6 +55,7 @@ from repro.sim.faults import (
     FaultError,
     FaultEvent,
     FaultPlan,
+    TransferLog,
     _check_mode,
     undelivered_map,
 )
@@ -64,7 +65,7 @@ from repro.sim.schedule import Chunk, Schedule, Transfer
 from repro.sim.trace import LinkStats
 from repro.topology.hypercube import Hypercube
 
-__all__ = ["AsyncResult", "run_async"]
+__all__ = ["AsyncResult", "TransferLog", "run_async"]
 
 _EPS = 1e-12
 
@@ -124,6 +125,8 @@ class AsyncResult:
             ``start_times[k]`` is the k-th transfer initiation on the
             machine (useful for utilization analysis).
         transfers_executed: number of transfers run.
+        transfer_log: execution provenance when requested
+            (``transfer_log=True`` on the vectorized engine).
     """
 
     time: float
@@ -131,6 +134,7 @@ class AsyncResult:
     link_stats: LinkStats
     start_times: list[float] = field(default_factory=list)
     transfers_executed: int = 0
+    transfer_log: TransferLog | None = None
 
 
 def run_async(

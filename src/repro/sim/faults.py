@@ -45,8 +45,29 @@ __all__ = [
     "FaultError",
     "FaultEvent",
     "DegradedResult",
+    "TransferLog",
     "undelivered_map",
 ]
+
+
+@dataclass(frozen=True)
+class TransferLog:
+    """Opt-in per-transfer execution provenance (event engines).
+
+    Attributes:
+        ids: executed transfer indices into the schedule's
+            ``all_transfers()`` program order, in execution order.
+        starts: matching start times, same execution order — unlike the
+            results' ``start_times``, which are sorted ascending.
+
+    The service layer (:mod:`repro.service`) uses this to split one
+    merged multi-job run back into per-job completion times and link
+    traffic; pair each id with its owning job via
+    :attr:`repro.sim.multi.MergedProgram.owners`.
+    """
+
+    ids: list[int]
+    starts: list[float]
 
 #: ``on_fault`` modes accepted by the engines.
 ON_FAULT_MODES = ("raise", "report")
@@ -294,6 +315,8 @@ class DegradedResult:
         start_times: start times of executed transfers (event engines).
         cycles: non-empty rounds executed (lock-step engine).
         step_costs: per-round costs (lock-step engine).
+        transfer_log: execution provenance when requested
+            (``transfer_log=True`` on the vectorized engine).
     """
 
     time: float
@@ -306,6 +329,7 @@ class DegradedResult:
     start_times: list[float] | None = None
     cycles: int | None = None
     step_costs: list[float] | None = None
+    transfer_log: TransferLog | None = None
 
     @property
     def complete(self) -> bool:

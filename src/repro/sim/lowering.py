@@ -13,7 +13,8 @@ into an array-of-structs :class:`LoweredSchedule`:
 * a *slot* table: every distinct ``(node, chunk)`` pair that can ever
   hold payload gets a dense id, with ``slot_node``/``slot_chunk``
   decoding columns and an ``init_avail`` column (0.0 for initial
-  holdings, ``+inf`` for absent);
+  holdings — or their per-chunk release time, see ``release_times`` —
+  and ``+inf`` for absent);
 * dependency CSR indexes: ``in_ptr``/``in_idx`` (the slots a transfer
   reads at its sender), ``out_ptr``/``out_idx`` (the slots it writes at
   its receiver) and the inverted ``wait_ptr``/``wait_idx`` (the
@@ -108,8 +109,17 @@ def lower_schedule(
     cube: Hypercube,
     schedule: Schedule,
     initial_holdings: dict[int, set[Chunk]],
+    release_times: dict[Chunk, float] | None = None,
 ) -> LoweredSchedule:
-    """Compile ``schedule`` + ``initial_holdings`` into flat arrays."""
+    """Compile ``schedule`` + ``initial_holdings`` into flat arrays.
+
+    ``release_times`` optionally delays initially-held chunks: a chunk
+    mapped to ``t`` becomes available at its holders at instant ``t``
+    instead of 0.0, so no transfer reading it can start earlier.  This
+    is how the service layer gates a job admitted at time ``t`` into an
+    already-running merged program (multi-job runs, see
+    :mod:`repro.sim.multi`); absent chunks still start at ``+inf``.
+    """
     transfers = schedule.all_transfers()
     n_transfers = len(transfers)
     chunk_sizes = schedule.chunk_sizes
@@ -155,10 +165,14 @@ def lower_schedule(
 
     init_nodes: list[int] = []
     init_cids: list[int] = []
+    init_at: list[float] = []
     for node, chunks in initial_holdings.items():
         for c in chunks:
             init_nodes.append(node)
             init_cids.append(_cid(c))
+            init_at.append(
+                release_times.get(c, 0.0) if release_times else 0.0
+            )
 
     n_chunks = max(1, len(chunk_objects))
     num_nodes = cube.num_nodes
@@ -225,7 +239,9 @@ def lower_schedule(
     out_ptr = ptr.copy()  # in/out slot lists are parallel per transfer
 
     init_avail = np.full(n_slots, np.inf)
-    init_avail[init_slots] = 0.0
+    # np.minimum.at: a chunk held by several nodes keeps the earliest
+    # release should duplicate (node, chunk) init entries ever appear
+    np.minimum.at(init_avail, init_slots, np.asarray(init_at, dtype=np.float64))
 
     # -- inverted dependency index: slot -> waiting transfer ids -----------
     owner = np.repeat(np.arange(n_transfers, dtype=np.int64), counts)

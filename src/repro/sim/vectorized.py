@@ -69,6 +69,7 @@ from repro.sim.faults import (
     FaultError,
     FaultEvent,
     FaultPlan,
+    TransferLog,
     _check_mode,
     undelivered_map,
 )
@@ -93,6 +94,7 @@ def run_async_vectorized(
     faults: FaultPlan | None = None,
     on_fault: str = "raise",
     lowered: LoweredSchedule | None = None,
+    transfer_log: bool = False,
 ) -> AsyncResult | DegradedResult:
     """Event-driven execution of ``schedule`` under ``port_model``.
 
@@ -102,7 +104,17 @@ def run_async_vectorized(
     :class:`~repro.sim.lowering.LoweredSchedule`; it must have been
     lowered from this exact ``schedule`` and ``initial_holdings``
     (lowering is machine- and port-model-independent, so one lowering
-    can be replayed under many machines).
+    can be replayed under many machines).  ``transfer_log=True``
+    additionally records per-transfer provenance (program-order ids +
+    execution-order start times) on the result — the service layer's
+    hook for splitting merged multi-job runs back into per-job
+    accounting.
+
+    This engine also honours per-chunk *release times* baked into the
+    lowering (see :func:`repro.sim.lowering.lower_schedule`): a
+    transfer whose payload is released at ``t > 0`` is filed for the
+    instant ``t`` instead of competing at 0, which is how service jobs
+    admitted mid-stream join an already-running cube.
     """
     machine = machine or MachineParams()
     _check_mode(on_fault)
@@ -216,6 +228,11 @@ def run_async_vectorized(
     # clamped to ``now``) carry straight into the next instant's due
     # list instead, as do the t=0 seeds.
     pending: list[int] = []
+
+    # Wake heap of raw float times, deduplicated by exact bit pattern.
+    wake: list[float] = []
+    wake_set: set[float] = set()
+
     for i in range(nT):
         if missing_py[i] == 0:
             r = 0.0
@@ -224,11 +241,20 @@ def run_async_vectorized(
                 if a > r:
                     r = a
             ready_np[i] = r
-            pending.append(i)
-
-    # Wake heap of raw float times, deduplicated by exact bit pattern.
-    wake: list[float] = []
-    wake_set: set[float] = set()
+            if r > eps:
+                # Release-delayed seed (multi-job programs): file it for
+                # the instant its payload is released, exactly like a
+                # delivery beyond the current instant would.
+                b0 = calendar.get(r)
+                if b0 is None:
+                    calendar[r] = [i]
+                else:
+                    b0.append(i)
+                if r not in wake_set:
+                    wake_set.add(r)
+                    heappush(wake, r)
+            else:
+                pending.append(i)
 
     remaining = nT
     now = 0.0
@@ -677,6 +703,11 @@ def run_async_vectorized(
             stats.packets[edge] = pk[li]
             stats.elems[edge] = int(el[li])
 
+    log = (
+        TransferLog(ids=list(executed_ids), starts=list(start_times))
+        if transfer_log
+        else None
+    )
     start_times.sort()  # stable: equal start times keep execution order
 
     if fault_events or remaining:
@@ -691,6 +722,7 @@ def run_async_vectorized(
             transfers_executed=len(start_times),
             transfers_lost=len(lost),
             start_times=start_times,
+            transfer_log=log,
         )
 
     _flush()
@@ -700,4 +732,5 @@ def run_async_vectorized(
         link_stats=stats,
         start_times=start_times,
         transfers_executed=nT,
+        transfer_log=log,
     )

@@ -296,3 +296,113 @@ class TestNeverSilent:
             return
         for v in cube.nodes():
             assert res.holdings[v] >= want
+
+
+class TestServiceFaults:
+    """Service-level fault plumbing: a dead link mid-stream degrades
+    only the jobs whose trees actually cross it."""
+
+    @staticmethod
+    def _victim_edge(cube, sched):
+        """A directed edge the schedule uses, as an undirected pair."""
+        for rnd in sched.rounds:
+            for tr in rnd:
+                return (min(tr.src, tr.dst), max(tr.src, tr.dst))
+        raise AssertionError("schedule has no transfers")
+
+    def test_dead_link_degrades_only_crossing_jobs(self):
+        from repro.collectives.api import collective_schedule
+        from repro.service import JobSpec, run_service
+
+        cube = Hypercube(4)
+        pm = PortModel.ONE_PORT_FULL
+        # find a victim edge in job A's tree that job B's tree avoids
+        sched_a, _ = collective_schedule(
+            cube, "broadcast", "msbt", 0, 8, 4, pm
+        )
+        edges_a = {
+            (min(t.src, t.dst), max(t.src, t.dst))
+            for rnd in sched_a.rounds for t in rnd
+        }
+        victim = None
+        for src_b in range(1, cube.num_nodes):
+            sched_b, _ = collective_schedule(
+                cube, "scatter", "bst", src_b, 2, 2, pm
+            )
+            edges_b = {
+                (min(t.src, t.dst), max(t.src, t.dst))
+                for rnd in sched_b.rounds for t in rnd
+            }
+            only_a = edges_a - edges_b
+            if only_a:
+                victim = sorted(only_a)[0]
+                break
+        assert victim is not None, "no A-only edge found"
+
+        specs = [
+            JobSpec(tenant="hit", op="broadcast", algorithm="msbt",
+                    source=0, message_elems=8, packet_elems=4),
+            JobSpec(tenant="safe", op="scatter", algorithm="bst",
+                    source=src_b, message_elems=2, packet_elems=2,
+                    arrival=1.0),
+        ]
+        plan = FaultPlan(dead_links=[victim])
+        result = run_service(
+            cube, specs, port_model=pm, faults=plan, on_fault="report"
+        )
+        hit, safe = result.jobs
+        assert hit.degraded and hit.undelivered
+        assert not safe.degraded and safe.complete
+        assert result.degraded
+
+        # raise mode surfaces the same fault as a structured error
+        with pytest.raises(FaultError):
+            run_service(cube, specs, port_model=pm, faults=plan)
+
+        # and without the fault, both jobs complete
+        clean = run_service(cube, specs, port_model=pm)
+        assert all(j.complete and not j.degraded for j in clean.jobs)
+
+    def test_unaffected_job_keeps_its_fault_free_timing(self):
+        """If the dead link only touches the *other* tenant's tree and
+        the jobs do not overlap in time, the safe job's timing is
+        bit-identical to the fault-free run."""
+        from repro.collectives.api import collective_schedule
+        from repro.service import JobSpec, run_service
+
+        cube = Hypercube(3)
+        pm = PortModel.ONE_PORT_FULL
+        sched_a, _ = collective_schedule(
+            cube, "broadcast", "sbt", 0, 4, 2, pm
+        )
+        edges_a = {
+            (min(t.src, t.dst), max(t.src, t.dst))
+            for rnd in sched_a.rounds for t in rnd
+        }
+        sched_b, _ = collective_schedule(
+            cube, "broadcast", "sbt", 7, 4, 2, pm
+        )
+        edges_b = {
+            (min(t.src, t.dst), max(t.src, t.dst))
+            for rnd in sched_b.rounds for t in rnd
+        }
+        only_a = sorted(edges_a - edges_b)
+        if not only_a:
+            pytest.skip("trees share every edge at this size")
+        specs = [
+            JobSpec(tenant="hit", op="broadcast", algorithm="sbt",
+                    source=0, message_elems=4, packet_elems=2),
+            JobSpec(tenant="safe", op="broadcast", algorithm="sbt",
+                    source=7, message_elems=4, packet_elems=2,
+                    arrival=500.0),
+        ]
+        plan = FaultPlan(dead_links=[only_a[0]])
+        faulty = run_service(
+            cube, specs, port_model=pm, faults=plan, on_fault="report"
+        )
+        clean = run_service(cube, specs, port_model=pm)
+        assert faulty.jobs[0].degraded
+        assert not faulty.jobs[1].degraded
+        assert faulty.jobs[1].finish_time == clean.jobs[1].finish_time
+        assert (faulty.view.slices[1].start_times
+                == clean.view.slices[1].start_times)

@@ -1,0 +1,130 @@
+"""Differential layer: the service is the engine, bit for bit.
+
+A single-job service run must be indistinguishable from running the
+same schedule standalone on the vectorized engine — same completion
+time, same sorted start times, same per-edge traffic, same final
+holdings — for **every** tree algorithm and every port model.  Any
+drift here means the merge/untag/provenance plumbing changed the
+simulation, which would invalidate every multi-tenant result built on
+top of it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.collectives.api import (
+    BROADCAST_ALGORITHMS,
+    SCATTER_ALGORITHMS,
+    collective_schedule,
+)
+from repro.service import JobSpec, run_service
+from repro.sim.machine import IPSC_D7
+from repro.sim.ports import PortModel
+from repro.sim.vectorized import run_async_vectorized
+from repro.topology import Hypercube
+
+N = 4
+SOURCE = 3
+M = 12
+B = 4
+
+GRID = [
+    (op, algo, pm)
+    for op, algos in (
+        ("broadcast", BROADCAST_ALGORITHMS),
+        ("scatter", SCATTER_ALGORITHMS),
+        ("allgather", (None,)),
+        ("alltoall", (None,)),
+    )
+    for algo in algos
+    for pm in PortModel
+]
+
+
+def _ids(case):
+    op, algo, pm = case
+    return f"{op}-{algo or 'default'}-{pm.name.lower()}"
+
+
+@pytest.mark.parametrize("case", GRID, ids=_ids)
+def test_single_job_service_matches_standalone(case):
+    op, algo, pm = case
+    cube = Hypercube(N)
+    sched, initial = collective_schedule(cube, op, algo, SOURCE, M, B, pm)
+    standalone = run_async_vectorized(cube, sched, pm, initial)
+
+    result = run_service(
+        cube,
+        [JobSpec(tenant="solo", op=op, algorithm=algo, source=SOURCE,
+                 message_elems=M, packet_elems=B)],
+        port_model=pm,
+    )
+    assert result.view is not None
+    job = result.jobs[0]
+    sl = result.view.slices[0]
+
+    # times: bit-identical, not approximately equal
+    assert result.makespan == standalone.time
+    assert job.finish_time == standalone.time
+    assert sl.start_times == standalone.start_times
+    assert sl.executed == standalone.transfers_executed
+
+    # traffic: identical per-edge packet and element counters
+    assert sl.link_stats.packets == standalone.link_stats.packets
+    assert sl.link_stats.elems == standalone.link_stats.elems
+
+    # data: untagged holdings equal the standalone run's holdings
+    assert result.view.job_holdings(0) == standalone.holdings
+    assert not job.undelivered
+    assert not job.degraded
+
+
+@pytest.mark.parametrize("pm", list(PortModel), ids=lambda p: p.name.lower())
+def test_single_job_matches_standalone_under_ipsc_machine(pm):
+    """The equivalence holds under a real machine model too."""
+    cube = Hypercube(N)
+    sched, initial = collective_schedule(
+        cube, "broadcast", "msbt", SOURCE, M, B, pm
+    )
+    standalone = run_async_vectorized(cube, sched, pm, initial, IPSC_D7)
+    result = run_service(
+        cube,
+        [JobSpec(tenant="solo", op="broadcast", algorithm="msbt",
+                 source=SOURCE, message_elems=M, packet_elems=B)],
+        port_model=pm,
+        machine=IPSC_D7,
+    )
+    assert result.makespan == standalone.time
+    assert result.view.slices[0].start_times == standalone.start_times
+    assert result.view.job_holdings(0) == standalone.holdings
+
+
+def test_deferred_job_is_a_time_shifted_standalone_run():
+    """A job admitted onto an idle cube at t is the standalone run
+    shifted by exactly t — floats included (unit costs keep the shift
+    exact)."""
+    cube = Hypercube(N)
+    sched, initial = collective_schedule(
+        cube, "broadcast", "msbt", SOURCE, M, B, PortModel.ONE_PORT_FULL
+    )
+    standalone = run_async_vectorized(
+        cube, sched, PortModel.ONE_PORT_FULL, initial
+    )
+    shift = 1000.0
+    result = run_service(
+        cube,
+        [JobSpec(tenant="late", op="broadcast", algorithm="msbt",
+                 source=SOURCE, message_elems=M, packet_elems=B,
+                 arrival=shift)],
+        port_model=PortModel.ONE_PORT_FULL,
+    )
+    job = result.jobs[0]
+    assert job.admit_time == shift
+    assert math.isclose(job.finish_time, shift + standalone.time)
+    assert job.queueing_delay == 0.0
+    got = result.view.slices[0].start_times
+    want = [s + shift for s in standalone.start_times]
+    assert got == pytest.approx(want, abs=1e-9)

@@ -1,0 +1,127 @@
+"""Policy behavior: fifo, strict priority, and fair-share ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives.api import collective_schedule
+from repro.service import JobSpec, POLICIES, resolve_policy, run_service
+from repro.service.policies import (
+    FairSharePolicy,
+    FifoPolicy,
+    PriorityPolicy,
+)
+from repro.sim.ports import PortModel
+from repro.sim.vectorized import run_async_vectorized
+from repro.topology import Hypercube
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(POLICIES) == {"fifo", "priority", "fair-share"}
+
+    def test_resolve_by_name_and_instance(self):
+        assert isinstance(resolve_policy("fifo"), FifoPolicy)
+        p = FairSharePolicy()
+        assert resolve_policy(p) is p
+
+    def test_resolve_unknown(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            resolve_policy("round-robin")
+
+
+class TestKeys:
+    def test_fifo_is_admission_order(self):
+        p = FifoPolicy()
+        lo = JobSpec(tenant="a", priority=99)
+        hi = JobSpec(tenant="b")
+        assert p.admission_key(lo, 0, 50.0) < p.admission_key(hi, 1, 0.0)
+
+    def test_priority_outranks_admission_order(self):
+        p = PriorityPolicy()
+        urgent = JobSpec(tenant="a", priority=5)
+        bulk = JobSpec(tenant="b", priority=0)
+        assert p.admission_key(urgent, 9, 0.0) < p.admission_key(bulk, 0, 0.0)
+
+    def test_fair_share_favors_light_tenant(self):
+        p = FairSharePolicy()
+        hog = JobSpec(tenant="hog")
+        mouse = JobSpec(tenant="mouse")
+        assert p.admission_key(mouse, 5, 0.0) < p.admission_key(hog, 0, 120.0)
+
+    def test_static_keys_flags(self):
+        assert FifoPolicy.static_keys and PriorityPolicy.static_keys
+        assert not FairSharePolicy.static_keys
+
+
+def _contended_specs():
+    """Two same-root broadcasts arriving together: pure contention."""
+    return [
+        JobSpec(tenant="bulk", message_elems=64, packet_elems=8, priority=0),
+        JobSpec(tenant="urgent", message_elems=8, packet_elems=8, priority=5),
+    ]
+
+
+class TestEndToEnd:
+    def test_priority_policy_speeds_up_urgent_job(self):
+        cube = Hypercube(4)
+        fifo = run_service(cube, _contended_specs(), policy="fifo")
+        prio = run_service(cube, _contended_specs(), policy="priority")
+        urgent_fifo = next(j for j in fifo.jobs if j.tenant == "urgent")
+        urgent_prio = next(j for j in prio.jobs if j.tenant == "urgent")
+        # priority cannot hurt the urgent job, and on this contended
+        # mix it strictly helps; it never runs *faster* than alone
+        # (rounds interleave, so packets of earlier bulk rounds may
+        # still be in flight — priority is non-preemptive per packet)
+        assert urgent_prio.finish_time < urgent_fifo.finish_time
+        sched, init = collective_schedule(
+            cube, "broadcast", None, 0, 8, 8, PortModel.ONE_PORT_FULL
+        )
+        alone = run_async_vectorized(
+            cube, sched, PortModel.ONE_PORT_FULL, init
+        )
+        assert urgent_prio.finish_time >= alone.time
+
+    def test_fair_share_lets_light_tenant_cut_ahead(self):
+        """After the hog burns link-time, a fresh tenant's job admitted
+        at the same instant as the hog's next job outranks it."""
+        cube = Hypercube(3)
+        sched, init = collective_schedule(
+            cube, "broadcast", None, 0, 64, 8, PortModel.ONE_PORT_FULL
+        )
+        t1 = run_async_vectorized(
+            cube, sched, PortModel.ONE_PORT_FULL, init
+        ).time
+        later = t1 + 1.0
+        specs = [
+            JobSpec(tenant="hog", message_elems=64, packet_elems=8),
+            JobSpec(tenant="hog", message_elems=64, packet_elems=8,
+                    arrival=later),
+            JobSpec(tenant="mouse", message_elems=64, packet_elems=8,
+                    arrival=later),
+        ]
+        fifo = run_service(cube, specs, policy="fifo")
+        fair = run_service(cube, specs, policy="fair-share")
+        mouse_fifo = next(j for j in fifo.jobs if j.tenant == "mouse")
+        mouse_fair = next(j for j in fair.jobs if j.tenant == "mouse")
+        # fifo ranks the hog's second job first (earlier submission);
+        # fair-share ranks the mouse first (zero consumption so far)
+        assert mouse_fair.finish_time < mouse_fifo.finish_time
+        # everything still completes under both policies
+        assert not fifo.degraded and not fair.degraded
+        assert len(fair.accepted) == 3
+
+    def test_policies_only_reorder_never_lose_work(self):
+        specs = [
+            JobSpec(tenant="a", message_elems=16, packet_elems=4),
+            JobSpec(tenant="b", op="scatter", message_elems=4,
+                    arrival=2.0, priority=3),
+            JobSpec(tenant="c", op="allgather", message_elems=2,
+                    arrival=4.0),
+        ]
+        totals = set()
+        for name in sorted(POLICIES):
+            result = run_service(Hypercube(3), specs, policy=name)
+            assert all(j.complete for j in result.jobs)
+            totals.add(sum(j.elems for j in result.accepted))
+        assert len(totals) == 1  # same traffic volume under every policy

@@ -18,12 +18,14 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.obs",
+    "repro.service",
 ]
 
 
 class TestDocsExist:
     @pytest.mark.parametrize(
-        "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/API.md"]
+        "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/API.md",
+                 "docs/SERVICE.md"]
     )
     def test_file_present_and_substantial(self, name):
         path = ROOT / name
