@@ -102,6 +102,8 @@ def _runtime_collective(
     on_fault: str,
     subtree_order: str = "depth_first",
     trace: bool = False,
+    workers: int | None = None,
+    start_method: str | None = None,
 ) -> CollectiveResult:
     """Execute on the actor runtime, packaged as a CollectiveResult.
 
@@ -128,6 +130,7 @@ def _runtime_collective(
             cube, op, algorithm, source, message_elems, packet_elems,
             port_model, machine=machine, subtree_order=subtree_order,
             faults=faults, on_fault=on_fault, trace=trace,
+            workers=workers, start_method=start_method,
         )
     with collector.phase("schedule"):
         if op == "broadcast":
@@ -214,6 +217,8 @@ def broadcast(
     backend: str = "sim",
     trace: bool = False,
     engine: str | None = None,
+    workers: int | None = None,
+    start_method: str | None = None,
 ) -> CollectiveResult:
     """Broadcast ``message_elems`` from ``source`` to every other node.
 
@@ -251,15 +256,26 @@ def broadcast(
             (see :data:`repro.sim.ENGINES`; default: ``REPRO_ENGINE``
             or ``"indexed"``; ``"vectorized"`` is bit-identical and
             much faster on large cubes).
+        workers: shard the runtime execution across this many worker
+            processes (a power of two; ``0`` auto-sizes to the CPU
+            count).  Runtime backend only; results stay bit-identical
+            to the single-process runtime.
+        start_method: worker launch mode for ``workers > 1`` (see
+            :data:`repro.runtime.START_METHODS`; default ``"fork"`` or
+            ``REPRO_START_METHOD``).
     """
     packet_elems = message_elems if packet_elems is None else packet_elems
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend != "runtime" and workers is not None:
+        raise ValueError(
+            f"workers= requires backend='runtime', got backend={backend!r}"
+        )
     if backend == "runtime":
         return _runtime_collective(
             cube, "broadcast", algorithm, source, message_elems,
             packet_elems, port_model, machine, faults, on_fault,
-            trace=trace,
+            trace=trace, workers=workers, start_method=start_method,
         )
     if faults:
         return _broadcast_with_faults(
@@ -388,6 +404,8 @@ def scatter(
     backend: str = "sim",
     trace: bool = False,
     engine: str | None = None,
+    workers: int | None = None,
+    start_method: str | None = None,
 ) -> CollectiveResult:
     """Send a distinct ``message_elems`` message from ``source`` to each node.
 
@@ -417,15 +435,27 @@ def scatter(
             on ``result.async_.trace`` (runtime backend only).
         engine: event-engine implementation for ``run_event_sim``
             (see :data:`repro.sim.ENGINES`).
+        workers: shard the runtime execution across this many worker
+            processes (a power of two; ``0`` auto-sizes to the CPU
+            count).  Runtime backend only; results stay bit-identical
+            to the single-process runtime.
+        start_method: worker launch mode for ``workers > 1`` (see
+            :data:`repro.runtime.START_METHODS`; default ``"fork"`` or
+            ``REPRO_START_METHOD``).
     """
     packet_elems = message_elems if packet_elems is None else packet_elems
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend != "runtime" and workers is not None:
+        raise ValueError(
+            f"workers= requires backend='runtime', got backend={backend!r}"
+        )
     if backend == "runtime":
         return _runtime_collective(
             cube, "scatter", algorithm, source, message_elems,
             packet_elems, port_model, machine, faults, on_fault,
             subtree_order=subtree_order, trace=trace,
+            workers=workers, start_method=start_method,
         )
     collector = RunCollector("scatter", algorithm)
     if faults:

@@ -97,6 +97,10 @@ class RuntimeResult:
             still complete delivery after these).
         repair_rounds: timeout/repair cycles that ran (repair mode).
         trace: structured event trace, when tracing was enabled.
+        shard_traces: per-shard traces of a sharded run (``trace`` is
+            then their time-ordered merge).
+        sharding: clock-protocol telemetry of a sharded run
+            (:class:`repro.runtime.sharded.ShardRunStats`).
     """
 
     time: float
@@ -108,9 +112,11 @@ class RuntimeResult:
     fault_events: list[FaultEvent] = field(default_factory=list)
     repair_rounds: int = 0
     trace: RuntimeTrace | None = None
+    shard_traces: dict[int, RuntimeTrace] | None = None
+    sharding: object | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class _SubmittedSend:
     key: tuple
     src: int
@@ -118,10 +124,26 @@ class _SubmittedSend:
     chunks: frozenset
     elems: int
     cost: float
+    port: int
 
 
 class NodeActor:
     """One hypercube node: local program, local holdings, local rules."""
+
+    __slots__ = (
+        "cluster",
+        "node",
+        "held",
+        "expected",
+        "pending",
+        "cancelled",
+        "inbox",
+        "wake",
+        "stats",
+        "stopped",
+        "_expect_reports",
+        "_reports",
+    )
 
     def __init__(self, cluster: "VirtualCluster", program: NodeProgram):
         self.cluster = cluster
@@ -145,17 +167,22 @@ class NodeActor:
 
     async def run(self) -> None:
         kernel = self.cluster.kernel
+        inbox = self.inbox
+        popleft = inbox.popleft
+        handle = self._handle
+        task_done = kernel.task_done
+        wake = self.wake
         while True:
-            await self.wake.wait()
-            self.wake.clear()
+            await wake.wait()
+            wake.clear()
             if self.stopped:
                 return
-            while self.inbox:
-                msg = self.inbox.popleft()
+            while inbox:
+                msg = popleft()
                 try:
-                    self._handle(msg)
+                    handle(msg)
                 finally:
-                    kernel.task_done()
+                    task_done()
 
     # -- local decision logic (synchronous between awaits) -----------
 
@@ -165,9 +192,10 @@ class NodeActor:
             self._submit_enabled()
         elif kind == "deliver":
             _, chunks, time = msg
+            held = self.held
             for c in chunks:
-                if c not in self.held:
-                    self.held[c] = time
+                if c not in held:
+                    held[c] = time
             self._submit_enabled()
         elif kind == "timeout":
             # Receive timeout fired: phase-1 forwarding below this node
@@ -196,11 +224,15 @@ class NodeActor:
             raise ValueError(f"unknown actor message {kind!r}")
 
     def _submit_enabled(self) -> None:
-        kernel = self.cluster.kernel
+        if not self.pending:
+            return
+        submit = self.cluster.kernel.submit
+        node = self.node
+        held = self.held
         still: list[PlannedSend] = []
         for send in self.pending:
-            if all(c in self.held for c in send.chunks):
-                kernel.submit(self.node, send)
+            if all(c in held for c in send.chunks):
+                submit(node, send)
             else:
                 still.append(send)
         self.pending = still
@@ -313,19 +345,22 @@ class Kernel:
         traffic (epoch >= 1) always ranks below phase-1 traffic.
         """
         key = (self.epoch, *send.key)
-        elems = sum(
-            self.cluster.program.chunk_sizes[c] for c in send.chunks
-        )
+        sizes = self.cluster.program.chunk_sizes
+        elems = sum(sizes[c] for c in send.chunks)
         cost = self._cost_of.get(elems)
         if cost is None:
             cost = self._cost_of[elems] = self.machine.send_cost(elems)
+        dst = send.dst
         self._sends[key] = _SubmittedSend(
             key=key,
             src=node,
-            dst=send.dst,
+            dst=dst,
             chunks=send.chunks,
             elems=elems,
             cost=cost,
+            # adjacent addresses differ in exactly one bit; its index is
+            # the connecting port (== cube.port_towards without checks)
+            port=(node ^ dst).bit_length() - 1,
         )
         self.clock.push_submission(key)
 
@@ -339,6 +374,8 @@ class Kernel:
     async def drain(self) -> None:
         """Run virtual time forward until no live event remains."""
         clock = self.clock
+        pop_batch = clock.pop_batch
+        examine = self._examine
         while True:
             if clock.batch_empty:
                 self._sweep_dirty()
@@ -346,10 +383,10 @@ class Kernel:
                     return
                 if clock.due_deliveries:
                     await self._flush_deliveries()
-            item = clock.pop_batch()
+            item = pop_batch()
             if item is None:
                 continue  # instant held only deliveries; advance again
-            self._examine(item[0])
+            examine(item[0])
 
     def _sweep_dirty(self) -> None:
         # Blocked sends' channel constraints can be overlap-release
@@ -359,20 +396,22 @@ class Kernel:
         if not self._dirty:
             return
         clock = self.clock
-        cube = self.cluster.cube
+        now = clock.now
+        is_done = clock.is_done
+        push_wake = clock.push_wake
+        sends = self._sends
+        earliest_start = self.admission.earliest_start
         seen: set = set()
         for ch in self._dirty:
             for key in list(ch.blocked):
-                if clock.is_done(key):
+                if is_done(key):
                     ch.blocked.discard(key)
                     continue
                 if key in seen:
                     continue
                 seen.add(key)
-                t = self._sends[key]
-                port = cube.port_towards(t.src, t.dst)
-                v = self.admission.earliest_start(t.src, t.dst, port, clock.now)
-                clock.push_wake(v)
+                t = sends[key]
+                push_wake(earliest_start(t.src, t.dst, t.port, now))
         self._dirty.clear()
 
     def _examine(self, key: tuple) -> None:
@@ -391,8 +430,7 @@ class Kernel:
             clock.push_exam(key, ready)
             return
 
-        cube = self.cluster.cube
-        port = cube.port_towards(t.src, t.dst)
+        port = t.port
         start = self.admission.earliest_start(t.src, t.dst, port, now)
         if start > now + _EPS:
             self.admission.block(key, t.src, t.dst)
@@ -655,6 +693,8 @@ def run_collective(
     on_fault: str = "raise",
     detect_timeout: float | None = None,
     trace: bool = False,
+    workers: int | None = None,
+    start_method: str | None = None,
 ) -> RuntimeResult | DegradedResult:
     """Build local programs and execute them on a virtual cluster.
 
@@ -662,7 +702,17 @@ def run_collective(
     it through :func:`repro.sim.engine.run_async` — same parameters,
     same result shape, but every routing decision is taken by the node
     actors from their own addresses.
+
+    ``workers`` > 1 executes the cluster sharded across that many
+    processes (:mod:`repro.runtime.sharded`): a power of two up to the
+    node count, or ``0`` for "largest power of two the machine has
+    cores for".  ``start_method`` picks the ``multiprocessing`` start
+    method (default ``fork``, env ``REPRO_START_METHOD``); the
+    observables are bit-identical either way.
     """
+    from repro.runtime.partition import resolve_workers
+
+    k = resolve_workers(cube.dimension, workers)
     program = build_cluster_program(
         cube,
         op,
@@ -674,6 +724,19 @@ def run_collective(
         order=order,
         subtree_order=subtree_order,
     )
+    if k > 1:
+        from repro.runtime.sharded import run_sharded
+
+        return run_sharded(
+            cube,
+            program,
+            machine=machine,
+            faults=faults,
+            on_fault=on_fault,
+            trace=trace,
+            workers=k,
+            start_method=start_method,
+        )
     cluster = VirtualCluster(
         cube,
         program,

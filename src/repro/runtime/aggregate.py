@@ -1,0 +1,73 @@
+"""TRAM-style aggregation of cross-partition records.
+
+Charm++'s TRAM (and the VirtualRouter pattern in SNIPPETS.md #3)
+amortizes per-message overhead by coalescing items headed for the same
+destination PE into one buffer per tick.  The sharded runtime does the
+same one level up: within a clock round, every record bound for a
+given destination shard — cross-partition sends, shipped channel
+state, admission results — lands in a per-destination buffer, and
+``flush`` emits *one* frame per destination instead of one IPC message
+per packet.  The aggregator also keeps the records/frames accounting
+that feeds the ``repro_runtime_shard_*`` metrics (aggregation ratio =
+records per frame actually achieved).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import wire
+
+__all__ = ["ShardAggregator"]
+
+
+class ShardAggregator:
+    """Per-destination-shard, per-tick record coalescing."""
+
+    __slots__ = ("_buffers", "records", "frames")
+
+    def __init__(self) -> None:
+        self._buffers: dict[int, list[Any]] = {}
+        #: records buffered over the aggregator's lifetime
+        self.records = 0
+        #: frames emitted over the aggregator's lifetime
+        self.frames = 0
+
+    def add(self, dest_shard: int, record: Any) -> None:
+        """Buffer one record for ``dest_shard`` in the current tick."""
+        self._buffers.setdefault(dest_shard, []).append(record)
+        self.records += 1
+
+    def extend(self, dest_shard: int, records: list[Any]) -> None:
+        if not records:
+            return
+        self._buffers.setdefault(dest_shard, []).extend(records)
+        self.records += len(records)
+
+    @property
+    def pending(self) -> int:
+        return sum(len(buf) for buf in self._buffers.values())
+
+    def flush(self, kind: int, tick: int) -> dict[int, bytes]:
+        """Emit one frame per destination shard and clear the buffers.
+
+        The frame payload is the record list in buffering order (the
+        caller buffers in deterministic protocol order, so the frame
+        bytes are canonical).
+        """
+        frames: dict[int, bytes] = {}
+        for dest in sorted(self._buffers):
+            records = self._buffers[dest]
+            if not records:
+                continue
+            frames[dest] = wire.encode_frame(kind, tick, records)
+            self.frames += 1
+        self._buffers.clear()
+        return frames
+
+    @property
+    def aggregation_ratio(self) -> float:
+        """Mean records per emitted frame (0.0 before any flush)."""
+        if not self.frames:
+            return 0.0
+        return self.records / self.frames

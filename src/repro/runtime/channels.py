@@ -109,10 +109,16 @@ class PortAdmission:
     def earliest_start(self, src: int, dst: int, port: int, now: float) -> float:
         start = now
         if not self._allport:
-            s = self.send_channel(src).earliest_start(port, now)
+            ch = self._send.get(src)
+            if ch is None:
+                ch = self.send_channel(src)
+            s = ch.earliest_start(port, now)
             if s > start:
                 start = s
-            s = self.recv_channel(dst).earliest_start(port, now)
+            ch = self._recv.get(dst)
+            if ch is None:
+                ch = self.recv_channel(dst)
+            s = ch.earliest_start(port, now)
             if s > start:
                 start = s
         lf = self.link_free.get((src, dst))
@@ -123,8 +129,14 @@ class PortAdmission:
     def block(self, key: Key, src: int, dst: int) -> None:
         """Register a deferred send for the dirty-channel sweep."""
         if not self._allport:
-            self.send_channel(src).blocked.add(key)
-            self.recv_channel(dst).blocked.add(key)
+            ch = self._send.get(src)
+            if ch is None:
+                ch = self.send_channel(src)
+            ch.blocked.add(key)
+            ch = self._recv.get(dst)
+            if ch is None:
+                ch = self.recv_channel(dst)
+            ch.blocked.add(key)
 
     def occupy(
         self, key: Key, src: int, dst: int, port: int, start: float, end: float

@@ -1,0 +1,91 @@
+"""Subcube partition map for the sharded runtime.
+
+A cube of dimension ``n`` is split across ``K = 2**k`` workers by the
+**high** ``k`` address bits: worker ``w`` owns the subcube
+``[w << (n-k), (w+1) << (n-k))``.  High-bit sharding means the low
+``n - k`` dimensions — the bulk of every spanning tree's edges — stay
+inside one worker process, while only the ``k`` high dimensions cross
+the partition.  Each node therefore has exactly ``k`` cross-shard
+neighbors, and every cross-shard link connects shard ``w`` to shard
+``w ^ (1 << j)`` for some ``j < k`` — the hypercube structure recurses
+onto the shard graph itself.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["PartitionMap", "resolve_workers"]
+
+
+class PartitionMap:
+    """Address arithmetic for a ``2**k``-way subcube partition."""
+
+    __slots__ = ("dimension", "workers", "shard_bits", "shift")
+
+    def __init__(self, dimension: int, workers: int):
+        if dimension < 0:
+            raise ValueError(f"dimension must be >= 0, got {dimension}")
+        if workers < 1 or workers & (workers - 1):
+            raise ValueError(
+                f"workers must be a power of two >= 1, got {workers}"
+            )
+        if workers > (1 << dimension):
+            raise ValueError(
+                f"workers={workers} exceeds the {1 << dimension} nodes "
+                f"of a dimension-{dimension} cube"
+            )
+        self.dimension = dimension
+        self.workers = workers
+        #: number of high address bits that select the shard
+        self.shard_bits = workers.bit_length() - 1
+        #: number of low (intra-shard) dimensions
+        self.shift = dimension - self.shard_bits
+
+    def shard_of(self, node: int) -> int:
+        """The worker owning ``node`` (its high address bits)."""
+        return node >> self.shift
+
+    def nodes_of(self, shard: int) -> range:
+        """The contiguous subcube of addresses owned by ``shard``."""
+        if not 0 <= shard < self.workers:
+            raise ValueError(f"shard {shard} out of range [0, {self.workers})")
+        return range(shard << self.shift, (shard + 1) << self.shift)
+
+    def is_cross(self, u: int, v: int) -> bool:
+        """True when the directed link ``u -> v`` crosses shards."""
+        return (u >> self.shift) != (v >> self.shift)
+
+    def cross_dims(self) -> range:
+        """The cube dimensions whose links cross the partition."""
+        return range(self.shift, self.dimension)
+
+    def cross_links(self):
+        """All directed cross-partition links ``(u, v)``, sorted."""
+        for u in range(1 << self.dimension):
+            for j in self.cross_dims():
+                yield u, u ^ (1 << j)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PartitionMap(dimension={self.dimension}, "
+            f"workers={self.workers})"
+        )
+
+
+def resolve_workers(dimension: int, workers: int | None) -> int:
+    """Normalize a ``workers=`` request for a dimension-``n`` cube.
+
+    ``None`` or ``1`` selects the single-process runtime; ``0`` means
+    "use the machine": the largest power of two no larger than either
+    the CPU count or the node count.  Anything else must be a power of
+    two between 1 and ``2**n`` — shards are subcubes, so fractional
+    splits do not exist.
+    """
+    if workers is None:
+        return 1
+    if workers == 0:
+        cap = min(os.cpu_count() or 1, 1 << dimension)
+        return 1 << (cap.bit_length() - 1)
+    PartitionMap(dimension, workers)  # validates
+    return workers

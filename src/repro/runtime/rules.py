@@ -61,7 +61,7 @@ RUNTIME_BROADCAST_ALGORITHMS = ("sbt", "msbt")
 RUNTIME_SCATTER_ALGORITHMS = ("sbt", "bst")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlannedSend:
     """One transmission a node has locally decided to perform.
 

@@ -1,0 +1,1000 @@
+"""Sharded multi-process actor runtime: subcube-per-worker execution.
+
+The single-process runtime (:mod:`repro.runtime.actors`) runs all
+``N = 2**n`` node actors in one asyncio loop.  This module partitions
+the cube across ``K = 2**k`` worker processes by the **high** address
+bits (:class:`repro.runtime.partition.PartitionMap`), so the low
+``n - k`` dimensions — the bulk of every spanning tree — stay
+in-process and only ``k`` dimensions cross the partition.  Workers are
+connected to a hub coordinator over duplex ``multiprocessing`` pipes
+carrying canonical frames (:mod:`repro.runtime.wire`), with same-tick
+records coalesced per destination shard TRAM-style
+(:mod:`repro.runtime.aggregate`).
+
+Distributed clock protocol (conservative, no rollback)
+------------------------------------------------------
+Virtual time advances in lock-step rounds, one per clock instant:
+
+1. **HORIZON -> ADVANCE** — each worker sweeps its dirty channels and
+   reports its local event horizon (:meth:`VirtualClock.peek_horizon`:
+   next live-event time plus the latest wake candidate below it).  The
+   coordinator min-reduces the horizons, picks the instant's
+   representative exactly like :meth:`VirtualClock.advance` (the
+   latest wake within ``_EPS`` below the minimum live time wins), and
+   broadcasts it.  A worker whose horizon lies beyond the instant
+   simply moves its clock and idles — a *lookahead stall*.
+2. **CROSS -> CONFLICT** — workers open the instant, flush due
+   deliveries (actors may submit new sends), drain their examination
+   batch, and ship every send whose destination is remote.  The
+   coordinator broadcasts the union of all cross-send endpoints as the
+   round's *conflict set*; when it is empty the round is done — the
+   common case, costing two small frames per worker per instant.
+3. **STATE -> RESULT** — each worker extends the conflict set to a
+   local fixpoint (any local send touching a locked node is shipped
+   too, transitively), ships the channel/link state of its locked
+   nodes, and admits the remaining *safe* sends locally while the
+   coordinator executes the shipped sends centrally in global
+   ``(pass, key)`` order — mirroring ``Kernel._examine`` exactly.
+   Results (occupied channel state, admissions, deliveries, deferrals,
+   faults) fan back out, one aggregated frame per worker.
+
+Safe and shipped sends touch disjoint nodes (the fixpoint guarantees
+it), so they share no channel, link, or readiness state and commute —
+observables stay bit-identical to the single-process runtime, which
+the differential harness (:func:`repro.runtime.validate.sharded_check`)
+asserts across the whole grid.
+
+Determinism notes: within one instant the batch is fixed once
+deliveries are flushed (blocked and not-ready sends always reschedule
+strictly later), which is what makes the instant splittable at all.
+Wake *candidates* for sends blocked on cross-partition channels are
+computed from the owner's partial view; they can differ from the
+global view only below ``_EPS`` and never move an instant by more.
+
+``on_fault="repair"`` requires ``workers=1`` (repair's control plane
+is global by design); ``"raise"`` aborts every worker, ``"report"``
+degrades exactly like the single-process runtime.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import multiprocessing
+import os
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.obs.instruments import runtime_run_finished, sharded_run_finished
+from repro.runtime.actors import (
+    Kernel,
+    RuntimeResult,
+    VirtualCluster,
+    _SubmittedSend,
+)
+from repro.runtime.aggregate import ShardAggregator
+from repro.runtime.clock import _EPS
+from repro.runtime.partition import PartitionMap
+from repro.runtime.rules import ClusterProgram
+from repro.runtime.trace import RuntimeTrace, TraceEvent, merge_shard_traces
+from repro.runtime.wire import decode_frame, encode_frame
+from repro.sim.faults import (
+    DegradedResult,
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+    undelivered_map,
+)
+from repro.sim.machine import MachineParams
+from repro.sim.ports import PortModel
+from repro.sim.schedule import Transfer
+from repro.sim.trace import LinkStats
+from repro.topology.hypercube import DirectedEdge, Hypercube
+
+__all__ = [
+    "ShardedCluster",
+    "ShardRunStats",
+    "run_sharded",
+    "START_METHODS",
+]
+
+#: worker launch mechanisms; "thread" runs workers as in-process
+#: threads over the same pipe protocol (debugging / coverage / Windows)
+START_METHODS = ("fork", "spawn", "forkserver", "thread")
+
+# protocol frame kinds
+HORIZON = 1
+ADVANCE = 2
+CROSS = 3
+CONFLICT = 4
+STATE = 5
+RESULT = 6
+FINISH = 7
+SUMMARY = 8
+ERROR = 9
+ABORT = 10
+
+#: coordinator-side receive timeout (seconds); the protocol is
+#: lock-step, so a stall this long means a worker died ungracefully
+_RECV_TIMEOUT = float(os.environ.get("REPRO_SHARD_TIMEOUT", "300"))
+
+
+@dataclass(frozen=True)
+class _ShardSpec:
+    """Everything a worker needs to stand up its shard (picklable)."""
+
+    shard: int
+    workers: int
+    dimension: int
+    program: ClusterProgram  # programs dict sliced to this shard
+    machine: MachineParams
+    faults: FaultPlan | None
+    on_fault: str
+    trace: bool
+
+
+@dataclass
+class ShardRunStats:
+    """Coordinator-side telemetry of one sharded execution.
+
+    ``reps``/``horizons`` record the clock protocol round by round:
+    ``reps[i]`` is the representative broadcast in round ``i`` and
+    ``horizons[i]`` each worker's reported live-event time (``None``
+    for a locally quiescent shard).  The lookahead-safety property —
+    no worker is ever advanced past a shard's live bound — is
+    ``reps[i] <= min(live for live in horizons[i] if live is not None)
+    + eps`` for every round, which the property suite asserts.
+    """
+
+    workers: int
+    start_method: str
+    rounds: int = 0
+    conflict_rounds: int = 0
+    reps: list[float] = field(default_factory=list)
+    horizons: list[tuple] = field(default_factory=list)
+    stalls: dict[int, int] = field(default_factory=dict)
+    cross_records: int = 0
+    cross_frames: int = 0
+    result_records: int = 0
+    result_frames: int = 0
+
+    @property
+    def aggregation_ratio(self) -> float:
+        frames = self.cross_frames + self.result_frames
+        if not frames:
+            return 0.0
+        return (self.cross_records + self.result_records) / frames
+
+
+# ---------------------------------------------------------------------------
+# wire helpers
+# ---------------------------------------------------------------------------
+
+
+def _send_record(p: int, t: _SubmittedSend) -> tuple:
+    return (p, t.key, t.src, t.dst, t.chunks, t.elems, t.cost, t.port)
+
+
+def _channel_acts(admission, node: int) -> tuple[list, list | None]:
+    send = admission._send.get(node)
+    sacts = list(send._actions) if send is not None else []
+    if admission._half:
+        return sacts, None
+    recv = admission._recv.get(node)
+    racts = list(recv._actions) if recv is not None else []
+    return sacts, racts
+
+
+def _trace_record(e: TraceEvent) -> tuple:
+    return (e.kind, e.time, e.src, e.dst, e.port, e.end, e.elems,
+            e.chunks, e.detail)
+
+
+def _trace_from_record(r: tuple) -> TraceEvent:
+    kind, time, src, dst, port, end, elems, chunks, detail = r
+    return TraceEvent(kind=kind, time=time, src=src, dst=dst, port=port,
+                      end=end, elems=elems, chunks=chunks, detail=detail)
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+class _Abort(Exception):
+    """Coordinator told this worker to stop; unwind silently."""
+
+
+class _ShardWorker:
+    """One shard: a sliced :class:`VirtualCluster` driven lock-step."""
+
+    def __init__(self, conn, spec: _ShardSpec):
+        self.conn = conn
+        self.spec = spec
+        self.part = PartitionMap(spec.dimension, spec.workers)
+        self.cluster = VirtualCluster(
+            Hypercube(spec.dimension),
+            spec.program,
+            machine=spec.machine,
+            faults=spec.faults,
+            on_fault=spec.on_fault,
+            trace=spec.trace,
+        )
+        self.agg = ShardAggregator()
+        self.stalls = 0
+        self.rounds = 0
+
+    # -- protocol I/O -------------------------------------------------
+
+    def _send(self, kind: int, tick: int, payload) -> None:
+        self.conn.send_bytes(encode_frame(kind, tick, payload))
+
+    def _recv(self, expected: int, tick: int):
+        kind, rtick, payload = decode_frame(self.conn.recv_bytes())
+        if kind == ABORT:
+            raise _Abort()
+        if kind != expected or rtick != tick:
+            raise RuntimeError(
+                f"shard {self.spec.shard}: expected frame {expected} "
+                f"tick {tick}, got {kind} tick {rtick}"
+            )
+        return payload
+
+    # -- main loop ----------------------------------------------------
+
+    async def run(self) -> None:
+        cluster = self.cluster
+        kernel = cluster.kernel
+        tasks = [
+            asyncio.ensure_future(actor.run())
+            for actor in cluster.actors.values()
+        ]
+        try:
+            for node in cluster.actors:
+                cluster.post(node, ("start",))
+            await kernel.wait_quiescent()
+            await self._rounds(kernel)
+        finally:
+            for actor in cluster.actors.values():
+                actor.stopped = True
+                actor.wake.set()
+            await asyncio.gather(*tasks)
+
+    async def _rounds(self, kernel: Kernel) -> None:
+        clock = kernel.clock
+        shift = self.part.shift
+        shard = self.spec.shard
+        tick = 0
+        while True:
+            kernel._sweep_dirty()
+            live, cand = clock.peek_horizon()
+            self._send(HORIZON, tick, (live, cand))
+            msg = decode_frame(self.conn.recv_bytes())
+            if msg[0] == ABORT:
+                raise _Abort()
+            if msg[0] == FINISH:
+                return
+            if msg[0] != ADVANCE or msg[1] != tick:
+                raise RuntimeError(
+                    f"shard {shard}: unexpected frame {msg[0]} in round {tick}"
+                )
+            rep = msg[2]
+            self.rounds += 1
+            clock.open_instant(rep)
+            if clock.due_deliveries:
+                await kernel._flush_deliveries()
+            # The instant's batch is now fixed: blocked and not-ready
+            # sends always reschedule strictly later, and submissions
+            # only enter when deliveries are flushed (just done).
+            items: list[tuple[int, tuple, float]] = []
+            while (entry := clock.pop_batch_full()) is not None:
+                items.append(entry)
+            sends = kernel._sends
+            cross: list[tuple[int, tuple, float]] = []
+            local: list[tuple[int, tuple, float]] = []
+            for item in items:
+                t = sends[item[1]]
+                (cross if t.dst >> shift != shard else local).append(item)
+            if live is None or rep < live - _EPS:
+                if not clock.due_deliveries and not items:
+                    self.stalls += 1
+            for p, key, _te in cross:
+                self.agg.add(0, _send_record(p, sends[key]))
+            frames = self.agg.flush(CROSS, tick)
+            self.conn.send_bytes(
+                frames.get(0, encode_frame(CROSS, tick, []))
+            )
+            conflict = self._recv(CONFLICT, tick)
+            if conflict:
+                safe = self._ship_state(kernel, tick, set(conflict),
+                                        cross, local)
+            else:
+                safe = local  # no cross sends anywhere this round
+            for p, key, _te in safe:
+                clock.cur_pass = p
+                clock.cur_key = key
+                kernel._examine(key)
+            if conflict:
+                for res in self._recv(RESULT, tick):
+                    self._apply_result(kernel, res)
+            tick += 1
+
+    def _ship_state(
+        self,
+        kernel: Kernel,
+        tick: int,
+        locked: set[int],
+        cross: list,
+        local: list,
+    ) -> list:
+        """Fixpoint-extend the conflict set over local sends, ship the
+        locked nodes' channel/link state plus the extra sends, and
+        return the safe remainder."""
+        sends = kernel._sends
+        extras: list[tuple[int, tuple, float]] = []
+        pending = local
+        changed = True
+        while changed:
+            changed = False
+            rest = []
+            for item in pending:
+                t = sends[item[1]]
+                if t.src in locked or t.dst in locked:
+                    extras.append(item)
+                    locked.add(t.src)
+                    locked.add(t.dst)
+                    changed = True
+                else:
+                    rest.append(item)
+            pending = rest
+        admission = kernel.admission
+        shift = self.part.shift
+        shard = self.spec.shard
+        channels: dict[int, tuple] = {}
+        if not admission.all_port:
+            for node in sorted(locked):
+                if node >> shift == shard:
+                    channels[node] = _channel_acts(admission, node)
+        links: dict[tuple, float] = {}
+        link_free = admission.link_free
+        for item in (*cross, *extras):
+            t = sends[item[1]]
+            lf = link_free.get((t.src, t.dst))
+            if lf is not None:
+                links[(t.src, t.dst)] = lf
+        extra_records = [_send_record(p, sends[key]) for p, key, _te in extras]
+        # account the STATE shipment in the TRAM stats without
+        # buffering (the records ride the STATE frame, not a flush)
+        self.agg.records += len(extra_records)
+        self.agg.frames += 1
+        self._send(STATE, tick, {
+            "channels": channels,
+            "links": links,
+            "extras": extra_records,
+        })
+        return pending
+
+    def _apply_result(self, kernel: Kernel, result: dict) -> None:
+        cluster = self.cluster
+        clock = kernel.clock
+        admission = kernel.admission
+        shift = self.part.shift
+        shard = self.spec.shard
+        all_port = admission.all_port
+        overlap = cluster.machine.overlap
+        for node, (sacts, racts) in result.get("channels", {}).items():
+            ch = admission.send_channel(node)
+            ch._actions[:] = sacts
+            if racts is not None:
+                admission.recv_channel(node)._actions[:] = racts
+        admission.link_free.update(result.get("links", {}))
+        for key, src, dst, port, start, end, elems, chunks in result.get(
+            "admitted", ()
+        ):
+            actor = cluster.actors[src]
+            actor.stats.record(src, dst, elems)
+            kernel.start_times.append(start)
+            if end > kernel.finish:
+                kernel.finish = end
+            if not all_port:
+                clock.push_wake(start + (1.0 - overlap) * (end - start))
+                admission.send_channel(src).blocked.discard(key)
+                if dst >> shift == shard:
+                    admission.recv_channel(dst).blocked.discard(key)
+            clock.push_wake(end)
+            clock.mark_done(key)
+            if cluster.trace is not None:
+                cluster.trace.add_transfer(
+                    src, dst, port, start, end, elems, chunks
+                )
+        for end, dst, chunks in result.get("deliveries", ()):
+            clock.push_delivery(end)
+            heapq.heappush(
+                kernel._deliveries, (end, kernel._dseq, dst, chunks)
+            )
+            kernel._dseq += 1
+        for key, src, dst, start in result.get("rescheduled", ()):
+            if not all_port:
+                admission.send_channel(src).blocked.add(key)
+                if dst >> shift == shard:
+                    admission.recv_channel(dst).blocked.add(key)
+            clock.push_exam(key, start)
+        for key, src, dst, chunks, start, kind, subject in result.get(
+            "faulted", ()
+        ):
+            transfer = Transfer(src, dst, chunks)
+            kernel.fault_events.append(
+                FaultEvent(transfer, start, kind, subject)
+            )
+            kernel.lost.append(transfer)
+            clock.mark_done(key)
+            if cluster.trace is not None:
+                cluster.trace.add_fault(src, dst, start, kind, subject)
+        for node, side in result.get("dirty", ()):
+            if all_port:
+                continue
+            if side == "s":
+                kernel._dirty.add(admission.send_channel(node))
+            else:
+                kernel._dirty.add(admission.recv_channel(node))
+
+    # -- summary ------------------------------------------------------
+
+    def summary(self) -> dict:
+        cluster = self.cluster
+        kernel = cluster.kernel
+        stats = {
+            node: [
+                (e.src, e.dst, n, actor.stats.packets[e])
+                for e, n in sorted(actor.stats.elems.items())
+            ]
+            for node, actor in cluster.actors.items()
+        }
+        leftovers = [
+            (actor.node, s.dst, s.chunks)
+            for actor in cluster.actors.values()
+            for s in (*actor.pending, *actor.cancelled)
+        ]
+        return {
+            "holdings": {
+                node: frozenset(actor.held)
+                for node, actor in cluster.actors.items()
+            },
+            "missing": {
+                node: frozenset(m)
+                for node, actor in cluster.actors.items()
+                if (m := actor.missing())
+            },
+            "stats": stats,
+            "start_times": kernel.start_times,
+            "finish": kernel.finish,
+            "fault_events": [
+                (f.transfer.src, f.transfer.dst, f.transfer.chunks,
+                 f.time, f.kind, f.subject)
+                for f in kernel.fault_events
+            ],
+            "lost": [(t.src, t.dst, t.chunks) for t in kernel.lost],
+            "leftovers": leftovers,
+            "trace": (
+                [_trace_record(e) for e in cluster.trace.events]
+                if cluster.trace is not None
+                else None
+            ),
+            "metrics": {
+                "rounds": self.rounds,
+                "stalls": self.stalls,
+                "records": self.agg.records,
+                "frames": self.agg.frames,
+            },
+        }
+
+
+def _worker_main(conn, spec: _ShardSpec) -> None:
+    """Worker process entry point (also runs on a thread under the
+    ``"thread"`` start method)."""
+    worker = None
+    try:
+        worker = _ShardWorker(conn, spec)
+        asyncio.run(worker.run())
+        conn.send_bytes(encode_frame(SUMMARY, -1, worker.summary()))
+    except _Abort:
+        pass
+    except FaultError as exc:
+        try:
+            conn.send_bytes(encode_frame(ERROR, -1, {
+                "type": "fault",
+                "message": str(exc),
+                "edge": exc.edge,
+                "node": exc.node,
+                "time": exc.time,
+                "chunks": exc.chunks,
+            }))
+            decode_frame(conn.recv_bytes())  # wait for the ABORT
+        except (EOFError, OSError):
+            pass
+    except (EOFError, OSError):
+        pass  # coordinator went away; nothing to report to
+    except BaseException as exc:  # noqa: BLE001 - shipped to coordinator
+        try:
+            conn.send_bytes(encode_frame(ERROR, -1, {
+                "type": "exception",
+                "message": f"{type(exc).__name__}: {exc}",
+            }))
+            decode_frame(conn.recv_bytes())
+        except (EOFError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# coordinator side
+# ---------------------------------------------------------------------------
+
+
+class _ConflictExecutor:
+    """Executes one round's shipped sends in global (pass, key) order,
+    mirroring ``Kernel._examine`` on the shipped channel state."""
+
+    def __init__(self, part: PartitionMap, port_model: PortModel,
+                 machine: MachineParams, faults: FaultPlan | None,
+                 on_fault: str):
+        self.part = part
+        self.port_model = port_model
+        self.machine = machine
+        self.faults = faults
+        self.on_fault = on_fault
+
+    def execute(
+        self,
+        rep: float,
+        records: list[tuple],
+        channels: dict[int, tuple],
+        links: dict[tuple, float],
+    ) -> dict[int, dict]:
+        from repro.runtime.channels import PortAdmission
+
+        part = self.part
+        admission = PortAdmission(self.port_model, self.machine.overlap)
+        for node, (sacts, racts) in channels.items():
+            ch = admission.send_channel(node)
+            ch._actions[:] = sacts
+            if racts is not None:
+                admission.recv_channel(node)._actions[:] = racts
+        admission.link_free.update(links)
+        results: dict[int, dict] = {
+            w: {
+                "channels": {},
+                "links": {},
+                "admitted": [],
+                "deliveries": [],
+                "rescheduled": [],
+                "faulted": [],
+                "dirty": [],
+            }
+            for w in range(part.workers)
+        }
+        all_port = admission.all_port
+        faults = self.faults
+        now = rep
+        for _p, key, src, dst, chunks, elems, cost, port in sorted(
+            records, key=lambda r: (r[0], r[1])
+        ):
+            src_shard = part.shard_of(src)
+            dst_shard = part.shard_of(dst)
+            start = admission.earliest_start(src, dst, port, now)
+            if start > now + _EPS:
+                # only the submitting shard re-examines the key; the
+                # destination learns of it when it finally admits
+                results[src_shard]["rescheduled"].append(
+                    (key, src, dst, start)
+                )
+                continue
+            if faults is not None:
+                hit = faults.blocks(src, dst, start)
+                if hit is not None:
+                    kind, subject = hit
+                    if self.on_fault == "raise":
+                        raise FaultError(
+                            f"transfer {src}->{dst} blocked by dead {kind} "
+                            f"{subject} at t={start:.6g}; pending chunks "
+                            f"{sorted(map(repr, chunks))[:4]}",
+                            edge=(src, dst),
+                            node=subject if kind == "node" else None,
+                            time=start,
+                            chunks=chunks,
+                        )
+                    results[src_shard]["faulted"].append(
+                        (key, src, dst, chunks, start, kind, subject)
+                    )
+                    continue
+            end = start + cost
+            admission.occupy(key, src, dst, port, start, end)
+            results[src_shard]["links"][(src, dst)] = end
+            results[src_shard]["admitted"].append(
+                (key, src, dst, port, start, end, elems, chunks)
+            )
+            results[dst_shard]["deliveries"].append((end, dst, chunks))
+            if not all_port:
+                results[src_shard]["dirty"].append((src, "s"))
+                results[dst_shard]["dirty"].append((dst, "r"))
+        for node in channels:
+            owner = part.shard_of(node)
+            results[owner]["channels"][node] = _channel_acts(admission, node)
+        return results
+
+
+class ShardedCluster:
+    """Coordinator for a ``workers``-way sharded runtime execution."""
+
+    def __init__(
+        self,
+        cube: Hypercube,
+        program: ClusterProgram,
+        machine: MachineParams | None = None,
+        faults: FaultPlan | None = None,
+        on_fault: str = "raise",
+        trace: bool = False,
+        workers: int = 2,
+        start_method: str | None = None,
+    ):
+        if on_fault == "repair":
+            raise ValueError(
+                "on_fault='repair' requires workers=1: the repair control "
+                "plane coordinates globally through the source actor"
+            )
+        if on_fault not in ("raise", "report"):
+            raise ValueError(
+                f"on_fault must be 'raise' or 'report', got {on_fault!r}"
+            )
+        start_method = start_method or os.environ.get(
+            "REPRO_START_METHOD", "fork"
+        )
+        if start_method not in START_METHODS:
+            raise ValueError(
+                f"start_method must be one of {START_METHODS}, "
+                f"got {start_method!r}"
+            )
+        self.cube = cube
+        self.program = program
+        self.machine = machine or MachineParams()
+        self.faults = faults
+        self.on_fault = on_fault
+        self.trace_enabled = trace
+        self.part = PartitionMap(cube.dimension, workers)
+        self.start_method = start_method
+        self.stats = ShardRunStats(workers=workers, start_method=start_method)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _specs(self) -> list[_ShardSpec]:
+        part = self.part
+        program = self.program
+        sliced: list[dict] = [{} for _ in range(part.workers)]
+        for node, prog in program.programs.items():
+            sliced[part.shard_of(node)][node] = prog
+        return [
+            _ShardSpec(
+                shard=w,
+                workers=part.workers,
+                dimension=self.cube.dimension,
+                program=ClusterProgram(
+                    programs=sliced[w],
+                    chunk_sizes=program.chunk_sizes,
+                    op=program.op,
+                    algorithm=program.algorithm,
+                    source=program.source,
+                    port_model=program.port_model,
+                ),
+                machine=self.machine,
+                faults=self.faults,
+                on_fault=self.on_fault,
+                trace=self.trace_enabled,
+            )
+            for w in range(part.workers)
+        ]
+
+    def _launch(self, specs: list[_ShardSpec]):
+        conns = []
+        procs = []
+        if self.start_method == "thread":
+            for spec in specs:
+                parent, child = multiprocessing.Pipe(duplex=True)
+                t = threading.Thread(
+                    target=_worker_main, args=(child, spec), daemon=True
+                )
+                t.start()
+                conns.append(parent)
+                procs.append(t)
+        else:
+            ctx = multiprocessing.get_context(self.start_method)
+            for spec in specs:
+                parent, child = ctx.Pipe(duplex=True)
+                p = ctx.Process(
+                    target=_worker_main, args=(child, spec), daemon=True
+                )
+                p.start()
+                child.close()
+                conns.append(parent)
+                procs.append(p)
+        return conns, procs
+
+    def _recv(self, conn, expected: int, tick: int):
+        if not conn.poll(_RECV_TIMEOUT):
+            raise RuntimeError(
+                f"sharded runtime: worker frame timed out after "
+                f"{_RECV_TIMEOUT:.0f}s (expected kind {expected})"
+            )
+        kind, rtick, payload = decode_frame(conn.recv_bytes())
+        if kind == ERROR:
+            raise _WorkerFailed(payload)
+        if kind != expected or (tick >= 0 and rtick != tick):
+            raise RuntimeError(
+                f"sharded runtime: expected frame {expected} tick {tick}, "
+                f"got {kind} tick {rtick}"
+            )
+        return payload
+
+    def run(self) -> RuntimeResult | DegradedResult:
+        """Execute the collective across the shards; blocking."""
+        t0 = perf_counter()
+        specs = self._specs()
+        conns, procs = self._launch(specs)
+        summaries: list[dict] = []
+        try:
+            summaries = self._coordinate(conns)
+        except _WorkerFailed as failure:
+            self._abort(conns, procs)
+            payload = failure.payload
+            if payload.get("type") == "fault":
+                raise FaultError(
+                    payload["message"],
+                    edge=tuple(payload["edge"]) if payload["edge"] else None,
+                    node=payload["node"],
+                    time=payload["time"],
+                    chunks=payload["chunks"],
+                ) from None
+            raise RuntimeError(
+                f"sharded runtime worker failed: {payload['message']}"
+            ) from None
+        except BaseException:
+            self._abort(conns, procs)
+            raise
+        finally:
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            self._join(procs)
+            self._flush_obs(summaries, perf_counter() - t0)
+        return self._result(summaries)
+
+    def _coordinate(self, conns) -> list[dict]:
+        stats = self.stats
+        executor = _ConflictExecutor(
+            self.part, self.program.port_model, self.machine,
+            self.faults, self.on_fault,
+        )
+        agg = ShardAggregator()
+        tick = 0
+        while True:
+            horizons = [self._recv(c, HORIZON, tick) for c in conns]
+            lives = tuple(h[0] for h in horizons)
+            alive = [t for t in lives if t is not None]
+            if not alive:
+                for c in conns:
+                    c.send_bytes(encode_frame(FINISH, tick, None))
+                break
+            t_min = min(alive)
+            # the engine's representative rule: the latest wake
+            # candidate within _EPS below the live minimum wins
+            rep = t_min
+            best = None
+            for _live, cand in horizons:
+                if (
+                    cand is not None
+                    and t_min - _EPS <= cand <= t_min
+                    and (best is None or cand > best)
+                ):
+                    best = cand
+            if best is not None:
+                rep = best
+            stats.rounds += 1
+            stats.reps.append(rep)
+            stats.horizons.append(lives)
+            for c in conns:
+                c.send_bytes(encode_frame(ADVANCE, tick, rep))
+            cross_records: list[tuple] = []
+            for c in conns:
+                cross_records.extend(self._recv(c, CROSS, tick))
+            conflict: set[int] = set()
+            for rec in cross_records:
+                conflict.add(rec[2])
+                conflict.add(rec[3])
+            payload = sorted(conflict)
+            for c in conns:
+                c.send_bytes(encode_frame(CONFLICT, tick, payload))
+            if conflict:
+                stats.conflict_rounds += 1
+                channels: dict[int, tuple] = {}
+                links: dict[tuple, float] = {}
+                records = list(cross_records)
+                for c in conns:
+                    state = self._recv(c, STATE, tick)
+                    channels.update(state["channels"])
+                    links.update(state["links"])
+                    records.extend(state["extras"])
+                results = executor.execute(rep, records, channels, links)
+                for w, res in results.items():
+                    agg.add(w, res)
+                    stats.result_records += (
+                        len(res["admitted"]) + len(res["deliveries"])
+                        + len(res["rescheduled"]) + len(res["faulted"])
+                    )
+                frames = agg.flush(RESULT, tick)
+                for w, c in enumerate(conns):
+                    # one aggregated frame per worker; the payload is
+                    # the destination's buffered record list
+                    c.send_bytes(frames[w])
+                stats.result_frames += len(conns)
+            tick += 1
+        return [self._recv(c, SUMMARY, -1) for c in conns]
+
+    def _abort(self, conns, procs) -> None:
+        for conn in conns:
+            try:
+                conn.send_bytes(encode_frame(ABORT, -1, None))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+
+    def _join(self, procs) -> None:
+        for p in procs:
+            p.join(timeout=30)
+        for p in procs:
+            if not isinstance(p, threading.Thread) and p.is_alive():
+                p.terminate()
+                p.join(timeout=5)
+
+    # -- result assembly ----------------------------------------------
+
+    def _flush_obs(self, summaries: list[dict], seconds: float) -> None:
+        packets = sum(len(s["start_times"]) for s in summaries)
+        elems = sum(
+            e for s in summaries
+            for rows in s["stats"].values()
+            for (_src, _dst, e, _p) in rows
+        )
+        lost = sum(len(s["lost"]) for s in summaries)
+        runtime_run_finished(
+            packets=packets, elems=elems, seconds=seconds, faulted=lost,
+        )
+        stats = self.stats
+        for shard, s in enumerate(summaries):
+            m = s["metrics"]
+            stats.cross_records += m["records"]
+            stats.cross_frames += m["frames"]
+            stats.stalls[shard] = m["stalls"]
+        sharded_run_finished(
+            workers=self.part.workers,
+            rounds=stats.rounds,
+            conflict_rounds=stats.conflict_rounds,
+            cross_records=stats.cross_records,
+            frames=stats.cross_frames + stats.result_frames,
+            aggregation_ratio=stats.aggregation_ratio,
+            stalls_by_shard=stats.stalls,
+            seconds=seconds,
+        )
+
+    def _result(self, summaries: list[dict]) -> RuntimeResult | DegradedResult:
+        holdings: dict[int, set] = {}
+        per_node: dict[int, LinkStats] = {}
+        start_times: list[float] = []
+        finish = 0.0
+        fault_records: list[tuple] = []
+        lost: list[Transfer] = []
+        missing: dict[int, frozenset] = {}
+        shard_traces: dict[int, RuntimeTrace] = {}
+        for shard, s in enumerate(summaries):
+            for node, held in s["holdings"].items():
+                holdings[node] = set(held)
+            for node, rows in s["stats"].items():
+                st = LinkStats()
+                for src, dst, e, p in rows:
+                    edge = DirectedEdge(src, dst)
+                    st.elems[edge] = e
+                    st.packets[edge] = p
+                per_node[node] = st
+            start_times.extend(s["start_times"])
+            if s["finish"] > finish:
+                finish = s["finish"]
+            fault_records.extend(s["fault_events"])
+            lost.extend(Transfer(a, b, ch) for a, b, ch in s["lost"])
+            missing.update(s["missing"])
+            if s["trace"] is not None:
+                trace = RuntimeTrace()
+                trace.events = [_trace_from_record(r) for r in s["trace"]]
+                shard_traces[shard] = trace
+        # nodes with no sends have no LinkStats row; fill like the
+        # single-process runtime (every actor owns one)
+        for node in self.program.programs:
+            per_node.setdefault(node, LinkStats())
+        fault_events = [
+            FaultEvent(Transfer(a, b, ch), t, kind, subject)
+            for a, b, ch, t, kind, subject in sorted(
+                fault_records, key=lambda r: (r[3], r[0], r[1])
+            )
+        ]
+        if missing and not (fault_events or self.on_fault == "report"):
+            stuck = [
+                (node, sorted(map(repr, chunks))[:4])
+                for node, chunks in sorted(missing.items())[:4]
+            ]
+            raise RuntimeError(
+                f"runtime deadlocked with {len(missing)} nodes "
+                f"starved, e.g. {stuck}"
+            )
+        stats = LinkStats.merged(per_node.values())
+        start_times.sort()
+        merged_trace = (
+            merge_shard_traces(shard_traces) if shard_traces else None
+        )
+        if fault_events and (missing or self.on_fault == "report"):
+            for shard, s in enumerate(summaries):
+                lost.extend(
+                    Transfer(node, dst, ch)
+                    for node, dst, ch in s["leftovers"]
+                )
+            return DegradedResult(
+                time=finish,
+                holdings=holdings,
+                link_stats=stats,
+                fault_events=fault_events,
+                undelivered=undelivered_map(lost, holdings),
+                transfers_executed=len(start_times),
+                transfers_lost=len(lost),
+                start_times=start_times,
+            )
+        return RuntimeResult(
+            time=finish,
+            holdings=holdings,
+            link_stats=stats,
+            start_times=start_times,
+            transfers_executed=len(start_times),
+            per_node_stats=per_node,
+            fault_events=fault_events,
+            trace=merged_trace,
+            shard_traces=shard_traces or None,
+            sharding=self.stats,
+        )
+
+
+class _WorkerFailed(Exception):
+    def __init__(self, payload: dict):
+        super().__init__(payload.get("message", "worker failed"))
+        self.payload = payload
+
+
+def run_sharded(
+    cube: Hypercube,
+    program: ClusterProgram,
+    machine: MachineParams | None = None,
+    faults: FaultPlan | None = None,
+    on_fault: str = "raise",
+    trace: bool = False,
+    workers: int = 2,
+    start_method: str | None = None,
+) -> RuntimeResult | DegradedResult:
+    """Execute a cluster program across ``workers`` shard processes."""
+    cluster = ShardedCluster(
+        cube,
+        program,
+        machine=machine,
+        faults=faults,
+        on_fault=on_fault,
+        trace=trace,
+        workers=workers,
+        start_method=start_method,
+    )
+    return cluster.run()

@@ -1,0 +1,232 @@
+"""Deterministic framing for cross-partition IPC.
+
+The sharded runtime ships clock horizons, cross-partition sends,
+channel state, and admission results between worker processes over
+``multiprocessing`` pipes.  Pickle would work, but its output is
+neither canonical (hash-randomized set iteration order leaks into the
+stream) nor safe to evolve; this module is a tiny tag-length-value
+codec whose output is *byte-identical for equal values in every
+process*, regardless of start method or ``PYTHONHASHSEED``:
+
+* sets and frozensets are encoded in sorted element order (falling
+  back to ``repr`` ordering for heterogeneous elements), so the chunk
+  sets ``{("b", 3), ("m", 5, 0)}`` carried by packets serialize
+  canonically;
+* ints are sign + magnitude with explicit length (arbitrary
+  precision); floats are the raw IEEE-754 big-endian word, so virtual
+  times survive the trip bit-exactly.
+
+A *frame* is ``(kind, tick, payload)`` — protocol message kind, clock
+round number, and an arbitrary payload value — prefixed with a magic
+byte.  Pipes preserve message boundaries (``send_bytes``/
+``recv_bytes``), so frames carry no outer length header.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+__all__ = ["WireError", "encode", "decode", "encode_frame", "decode_frame"]
+
+_MAGIC = 0xAE
+
+# value tags
+_NONE = 0x01
+_TRUE = 0x02
+_FALSE = 0x03
+_INT_POS = 0x04
+_INT_NEG = 0x05
+_FLOAT = 0x06
+_STR = 0x07
+_BYTES = 0x08
+_TUPLE = 0x09
+_LIST = 0x0A
+_DICT = 0x0B
+_FROZENSET = 0x0C
+_SET = 0x0D
+
+
+class WireError(ValueError):
+    """Raised on malformed or truncated wire data."""
+
+
+def _pack_len(out: bytearray, n: int) -> None:
+    # unsigned LEB128 — compact for the small lengths that dominate
+    while True:
+        b = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return
+
+
+def _unpack_len(data: bytes, pos: int) -> tuple[int, int]:
+    n = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise WireError("truncated length")
+        b = data[pos]
+        pos += 1
+        n |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return n, pos
+        shift += 7
+
+
+def _sorted_elems(value: frozenset | set) -> list:
+    try:
+        return sorted(value)
+    except TypeError:
+        return sorted(value, key=repr)
+
+
+def _encode_value(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_NONE)
+    elif value is True:
+        out.append(_TRUE)
+    elif value is False:
+        out.append(_FALSE)
+    elif type(value) is int:
+        mag = value if value >= 0 else -value
+        raw = mag.to_bytes((mag.bit_length() + 7) // 8 or 1, "big")
+        out.append(_INT_POS if value >= 0 else _INT_NEG)
+        _pack_len(out, len(raw))
+        out += raw
+    elif type(value) is float:
+        out.append(_FLOAT)
+        out += struct.pack(">d", value)
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(_STR)
+        _pack_len(out, len(raw))
+        out += raw
+    elif type(value) is bytes:
+        out.append(_BYTES)
+        _pack_len(out, len(value))
+        out += value
+    elif type(value) is tuple:
+        out.append(_TUPLE)
+        _pack_len(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif type(value) is list:
+        out.append(_LIST)
+        _pack_len(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif type(value) is dict:
+        out.append(_DICT)
+        _pack_len(out, len(value))
+        for k, v in value.items():
+            _encode_value(out, k)
+            _encode_value(out, v)
+    elif type(value) is frozenset:
+        out.append(_FROZENSET)
+        _pack_len(out, len(value))
+        for item in _sorted_elems(value):
+            _encode_value(out, item)
+    elif type(value) is set:
+        out.append(_SET)
+        _pack_len(out, len(value))
+        for item in _sorted_elems(value):
+            _encode_value(out, item)
+    else:
+        raise WireError(f"unencodable type {type(value).__name__!r}: {value!r}")
+
+
+def _decode_value(data: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(data):
+        raise WireError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == _NONE:
+        return None, pos
+    if tag == _TRUE:
+        return True, pos
+    if tag == _FALSE:
+        return False, pos
+    if tag in (_INT_POS, _INT_NEG):
+        n, pos = _unpack_len(data, pos)
+        if pos + n > len(data):
+            raise WireError("truncated int")
+        mag = int.from_bytes(data[pos : pos + n], "big")
+        return (mag if tag == _INT_POS else -mag), pos + n
+    if tag == _FLOAT:
+        if pos + 8 > len(data):
+            raise WireError("truncated float")
+        return struct.unpack(">d", data[pos : pos + 8])[0], pos + 8
+    if tag == _STR:
+        n, pos = _unpack_len(data, pos)
+        if pos + n > len(data):
+            raise WireError("truncated str")
+        return data[pos : pos + n].decode("utf-8"), pos + n
+    if tag == _BYTES:
+        n, pos = _unpack_len(data, pos)
+        if pos + n > len(data):
+            raise WireError("truncated bytes")
+        return bytes(data[pos : pos + n]), pos + n
+    if tag in (_TUPLE, _LIST, _FROZENSET, _SET):
+        n, pos = _unpack_len(data, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _decode_value(data, pos)
+            items.append(item)
+        if tag == _TUPLE:
+            return tuple(items), pos
+        if tag == _LIST:
+            return items, pos
+        if tag == _FROZENSET:
+            return frozenset(items), pos
+        return set(items), pos
+    if tag == _DICT:
+        n, pos = _unpack_len(data, pos)
+        d = {}
+        for _ in range(n):
+            k, pos = _decode_value(data, pos)
+            v, pos = _decode_value(data, pos)
+            d[k] = v
+        return d, pos
+    raise WireError(f"unknown tag 0x{tag:02x}")
+
+
+def encode(value: Any) -> bytes:
+    """Canonical bytes for ``value`` (identical across processes)."""
+    out = bytearray()
+    _encode_value(out, value)
+    return bytes(out)
+
+
+def decode(data: bytes) -> Any:
+    """Inverse of :func:`encode`; rejects trailing garbage."""
+    value, pos = _decode_value(data, 0)
+    if pos != len(data):
+        raise WireError(f"{len(data) - pos} trailing bytes")
+    return value
+
+
+def encode_frame(kind: int, tick: int, payload: Any) -> bytes:
+    """One protocol frame: magic byte + (kind, tick, payload)."""
+    out = bytearray([_MAGIC])
+    _encode_value(out, kind)
+    _encode_value(out, tick)
+    _encode_value(out, payload)
+    return bytes(out)
+
+
+def decode_frame(data: bytes) -> tuple[int, int, Any]:
+    """Inverse of :func:`encode_frame`."""
+    if not data or data[0] != _MAGIC:
+        raise WireError("bad frame magic")
+    kind, pos = _decode_value(data, 1)
+    tick, pos = _decode_value(data, pos)
+    payload, pos = _decode_value(data, pos)
+    if pos != len(data):
+        raise WireError(f"{len(data) - pos} trailing bytes in frame")
+    if type(kind) is not int or type(tick) is not int:
+        raise WireError("frame kind/tick must be ints")
+    return kind, tick, payload

@@ -1,0 +1,88 @@
+"""Subcube partition-map arithmetic."""
+
+import pytest
+
+from repro.runtime.partition import PartitionMap, resolve_workers
+
+
+class TestPartitionMap:
+    def test_shards_tile_the_cube(self):
+        part = PartitionMap(4, 4)
+        seen = []
+        for w in range(4):
+            seen.extend(part.nodes_of(w))
+        assert seen == list(range(16))
+        for w in range(4):
+            for v in part.nodes_of(w):
+                assert part.shard_of(v) == w
+
+    def test_single_worker_owns_everything(self):
+        part = PartitionMap(3, 1)
+        assert list(part.nodes_of(0)) == list(range(8))
+        assert not any(
+            part.is_cross(u, u ^ (1 << j)) for u in range(8) for j in range(3)
+        )
+
+    def test_one_node_per_shard(self):
+        part = PartitionMap(2, 4)
+        assert [list(part.nodes_of(w)) for w in range(4)] == [[0], [1], [2], [3]]
+        assert all(part.is_cross(u, u ^ (1 << j)) for u in range(4) for j in range(2))
+
+    def test_cross_links_are_exactly_the_high_dims(self):
+        part = PartitionMap(4, 2)
+        assert list(part.cross_dims()) == [3]
+        for u in range(16):
+            for j in range(4):
+                v = u ^ (1 << j)
+                assert part.is_cross(u, v) == (j >= 3)
+
+    def test_cross_links_enumeration(self):
+        part = PartitionMap(3, 4)
+        links = set(part.cross_links())
+        assert links == {
+            (u, u ^ (1 << j)) for u in range(8) for j in (1, 2)
+        }
+        # each node has exactly shard_bits cross neighbors
+        assert len(links) == 8 * part.shard_bits
+
+    def test_shard_graph_is_a_cube(self):
+        # cross link u -> u^(1<<j) connects shard w to shard w ^ (1 << (j-shift))
+        part = PartitionMap(5, 8)
+        for u, v in part.cross_links():
+            w, x = part.shard_of(u), part.shard_of(v)
+            assert (w ^ x).bit_count() == 1
+
+    @pytest.mark.parametrize("workers", [0, 3, 5, 6, -2])
+    def test_rejects_non_power_of_two(self, workers):
+        with pytest.raises(ValueError):
+            PartitionMap(4, workers)
+
+    def test_rejects_more_workers_than_nodes(self):
+        with pytest.raises(ValueError):
+            PartitionMap(2, 8)
+
+    def test_rejects_out_of_range_shard(self):
+        with pytest.raises(ValueError):
+            PartitionMap(3, 2).nodes_of(2)
+
+
+class TestResolveWorkers:
+    def test_none_means_single_process(self):
+        assert resolve_workers(8, None) == 1
+
+    def test_explicit_value_validated(self):
+        assert resolve_workers(4, 4) == 4
+        with pytest.raises(ValueError):
+            resolve_workers(4, 3)
+        with pytest.raises(ValueError):
+            resolve_workers(2, 8)
+
+    def test_zero_auto_sizes_to_machine(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 6)
+        assert resolve_workers(8, 0) == 4  # largest power of two <= 6
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert resolve_workers(8, 0) == 1
+
+    def test_zero_caps_at_node_count(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 64)
+        assert resolve_workers(2, 0) == 4

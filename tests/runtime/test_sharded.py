@@ -1,0 +1,273 @@
+"""The sharded multi-process runtime: equivalence, protocol, faults.
+
+The load-bearing claim is *bit-identity*: partitioning the cube across
+worker processes coordinated by the distributed virtual clock must
+produce exactly the observables of the single-process runtime (which
+the differential harness separately proves equal to the event engine).
+Most tests here run workers as in-process threads — same protocol,
+same frames, same coordinator — so the full grid stays fast and
+coverage-tracked; dedicated integration tests exercise real ``fork``
+and ``spawn`` processes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import run_collective
+from repro.runtime.clock import _EPS
+from repro.runtime.sharded import START_METHODS, run_sharded
+from repro.runtime.trace import merge_shard_traces
+from repro.runtime.validate import RUNTIME_OPS, differential_check, sharded_check
+from repro.sim.faults import FaultError, FaultPlan
+from repro.sim.machine import MachineParams
+from repro.sim.ports import PortModel
+from repro.topology.hypercube import Hypercube
+
+PMS = (PortModel.ONE_PORT_HALF, PortModel.ONE_PORT_FULL, PortModel.ALL_PORT)
+
+
+def _run(cube, op="broadcast", alg="msbt", source=0, M=17, B=4,
+         pm=PortModel.ONE_PORT_FULL, workers=2, **kw):
+    kw.setdefault("start_method", "thread")
+    return run_collective(cube, op, alg, source, M, B, pm,
+                          workers=workers, **kw)
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("op,alg", RUNTIME_OPS)
+    @pytest.mark.parametrize("pm", PMS, ids=lambda p: p.name)
+    def test_sharded_matches_engine_and_single_process(self, op, alg, pm):
+        sharded_check(Hypercube(4), op, alg, 0, 17, 4, pm,
+                      workers_grid=(2, 4), start_method="thread")
+
+    @pytest.mark.parametrize("source", [5, 15])
+    def test_nonzero_source(self, source):
+        sharded_check(Hypercube(4), "scatter", "bst", source, 33, 8,
+                      PortModel.ONE_PORT_HALF, workers_grid=(2, 4),
+                      start_method="thread")
+
+    def test_overlap_machine(self):
+        m = MachineParams(tau=2.5, t_c=0.75, overlap=0.5, name="custom")
+        sharded_check(Hypercube(4), "broadcast", "sbt", 3, 29, 4,
+                      PortModel.ONE_PORT_FULL, machine=m,
+                      workers_grid=(2, 4), start_method="thread")
+
+    def test_internal_packetization_machine(self):
+        m = MachineParams(internal_packet_elems=8)
+        sharded_check(Hypercube(4), "scatter", "sbt", 0, 64, 16,
+                      PortModel.ALL_PORT, machine=m,
+                      workers_grid=(2, 4), start_method="thread")
+
+    def test_every_node_its_own_shard(self):
+        sharded_check(Hypercube(3), "broadcast", "msbt", 0, 9, 2,
+                      PortModel.ONE_PORT_FULL, workers_grid=(8,),
+                      start_method="thread")
+
+    def test_workers_one_is_the_single_process_runtime(self):
+        # K=1 short-circuits: no coordinator, no sharding stats
+        res = run_collective(Hypercube(3), "broadcast", "sbt", 0, 8, 2,
+                             PortModel.ONE_PORT_FULL, workers=1)
+        assert res.sharding is None and res.shard_traces is None
+
+    def test_differential_check_accepts_workers(self):
+        differential_check(Hypercube(3), "broadcast", "msbt", 0, 9, 3,
+                           PortModel.ONE_PORT_HALF, workers=2,
+                           start_method="thread")
+
+
+class TestProcessIntegration:
+    def test_fork_workers(self):
+        sharded_check(Hypercube(4), "broadcast", "msbt", 0, 17, 4,
+                      PortModel.ONE_PORT_FULL, workers_grid=(2,),
+                      start_method="fork")
+
+    def test_spawn_workers(self):
+        sharded_check(Hypercube(3), "scatter", "bst", 0, 16, 4,
+                      PortModel.ONE_PORT_FULL, workers_grid=(2,),
+                      start_method="spawn")
+
+    def test_fork_report_mode_faults(self):
+        plan = FaultPlan(dead_links=[(1, 9, 3.0)])
+        base = run_collective(Hypercube(4), "broadcast", "sbt", 0, 33, 4,
+                              PortModel.ONE_PORT_FULL, faults=plan,
+                              on_fault="report")
+        sh = run_collective(Hypercube(4), "broadcast", "sbt", 0, 33, 4,
+                            PortModel.ONE_PORT_FULL, faults=plan,
+                            on_fault="report", workers=2,
+                            start_method="fork")
+        assert sh.holdings == base.holdings
+        assert sh.fault_events == base.fault_events
+
+
+class TestFaults:
+    # link 1<->9 crosses the K=2 boundary of a 4-cube: the executor,
+    # not a worker, detects the fault and must ship it home correctly
+    PLAN = FaultPlan(dead_links=[(1, 9, 3.0)])
+
+    def _base(self, on_fault):
+        return run_collective(Hypercube(4), "broadcast", "sbt", 0, 33, 4,
+                              PortModel.ONE_PORT_FULL, faults=self.PLAN,
+                              on_fault=on_fault)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_report_mode_matches_single_process(self, k):
+        base = self._base("report")
+        sh = _run(Hypercube(4), alg="sbt", M=33, pm=PortModel.ONE_PORT_FULL,
+                  workers=k, faults=self.PLAN, on_fault="report")
+        assert type(sh).__name__ == "DegradedResult"
+        assert abs(sh.time - base.time) < 1e-9
+        assert sh.holdings == base.holdings
+        assert sh.undelivered == base.undelivered
+        assert sh.transfers_lost == base.transfers_lost
+        assert sh.fault_events == base.fault_events
+
+    def test_raise_mode_reconstructs_fault_error(self):
+        with pytest.raises(FaultError) as base_exc:
+            self._base("raise")
+        with pytest.raises(FaultError) as sh_exc:
+            _run(Hypercube(4), alg="sbt", M=33, faults=self.PLAN,
+                 on_fault="raise")
+        assert sh_exc.value.edge == base_exc.value.edge
+        assert str(sh_exc.value) == str(base_exc.value)
+
+    def test_node_fault_report_mode(self):
+        plan = FaultPlan(dead_nodes=[(6, 2.0)])
+        base = run_collective(Hypercube(4), "scatter", "sbt", 0, 32, 4,
+                              PortModel.ONE_PORT_HALF, faults=plan,
+                              on_fault="report")
+        sh = _run(Hypercube(4), op="scatter", alg="sbt", M=32,
+                  pm=PortModel.ONE_PORT_HALF, workers=4, faults=plan,
+                  on_fault="report")
+        assert sh.holdings == base.holdings
+        assert sh.undelivered == base.undelivered
+        assert sh.fault_events == base.fault_events
+
+    def test_repair_requires_single_process(self):
+        with pytest.raises(ValueError, match="repair"):
+            _run(Hypercube(4), faults=self.PLAN, on_fault="repair")
+
+
+class TestValidationErrors:
+    @pytest.mark.parametrize("workers", [3, 5, -1])
+    def test_non_power_of_two_workers_rejected(self, workers):
+        with pytest.raises(ValueError):
+            run_collective(Hypercube(4), "broadcast", "sbt", 0, 8, 2,
+                           PortModel.ONE_PORT_FULL, workers=workers)
+
+    def test_workers_beyond_node_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_collective(Hypercube(2), "broadcast", "sbt", 0, 4, 1,
+                           PortModel.ONE_PORT_FULL, workers=8)
+
+    def test_bad_start_method_rejected(self):
+        with pytest.raises(ValueError, match="start_method"):
+            _run(Hypercube(3), start_method="greenlet")
+        assert "thread" in START_METHODS
+
+
+class TestProtocolProperties:
+    def test_lookahead_never_overruns_a_worker(self):
+        """No round advances past any worker's announced horizon."""
+        res = _run(Hypercube(5), alg="msbt", M=64, B=8, workers=4)
+        stats = res.sharding
+        assert stats is not None and stats.rounds == len(stats.reps)
+        for rep, lives in zip(stats.reps, stats.horizons):
+            alive = [t for t in lives if t is not None]
+            assert alive, "a round ran with every worker quiescent"
+            assert rep <= min(alive) + _EPS
+
+    def test_reps_strictly_increase(self):
+        res = _run(Hypercube(4), op="scatter", alg="bst", M=32, B=8)
+        reps = res.sharding.reps
+        assert all(b > a for a, b in zip(reps, reps[1:]))
+
+    def test_aggregation_metrics_recorded(self):
+        res = _run(Hypercube(5), alg="msbt", M=64, B=8, workers=4)
+        stats = res.sharding
+        assert stats.workers == 4 and stats.start_method == "thread"
+        assert stats.cross_records > 0
+        assert 0 < stats.cross_frames <= stats.cross_records
+        assert stats.aggregation_ratio >= 1.0
+        assert set(stats.stalls) <= set(range(4))
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        data=st.data(),
+        n=st.integers(3, 4),
+        k_bits=st.integers(1, 2),
+        M=st.integers(1, 40),
+        pm=st.sampled_from(PMS),
+    )
+    def test_lookahead_property_random_points(self, data, n, k_bits, M, pm):
+        op, alg = data.draw(st.sampled_from(RUNTIME_OPS))
+        source = data.draw(st.integers(0, (1 << n) - 1))
+        B = data.draw(st.integers(1, max(1, M)))
+        res = _run(Hypercube(n), op=op, alg=alg, source=source, M=M, B=B,
+                   pm=pm, workers=1 << k_bits)
+        stats = res.sharding
+        for rep, lives in zip(stats.reps, stats.horizons):
+            alive = [t for t in lives if t is not None]
+            assert rep <= min(alive) + _EPS
+
+
+class TestTraces:
+    def test_merged_trace_matches_single_process(self):
+        base = run_collective(Hypercube(4), "broadcast", "msbt", 0, 17, 4,
+                              PortModel.ONE_PORT_FULL, trace=True)
+        sh = _run(Hypercube(4), workers=4, trace=True)
+        key = lambda e: (e.time, e.src, e.dst, e.end, e.elems, e.chunks)
+        assert sorted(map(key, sh.trace.transfers())) == sorted(
+            map(key, base.trace.transfers())
+        )
+        # per-shard traces only contain that shard's sending nodes
+        part_shift = 4 - 2
+        for shard, tr in sh.shard_traces.items():
+            assert all(e.src >> part_shift == shard for e in tr.transfers())
+        merged = merge_shard_traces(sh.shard_traces)
+        assert len(merged) == len(sh.trace)
+
+    def test_trace_disabled_by_default(self):
+        res = _run(Hypercube(3))
+        assert res.trace is None and res.shard_traces is None
+
+
+class TestCollectivesIntegration:
+    def test_broadcast_api_threads_workers_through(self):
+        from repro.collectives import broadcast
+
+        base = broadcast(Hypercube(4), 0, "msbt", 33, 4, backend="runtime")
+        sh = broadcast(Hypercube(4), 0, "msbt", 33, 4, backend="runtime",
+                       workers=2, start_method="thread")
+        assert abs(sh.async_.time - base.async_.time) < 1e-9
+        assert sh.async_.holdings == base.async_.holdings
+        assert sh.async_.sharding.workers == 2
+
+    def test_scatter_api_threads_workers_through(self):
+        from repro.collectives import scatter
+
+        sh = scatter(Hypercube(3), 0, "bst", 16, 4, backend="runtime",
+                     workers=2, start_method="thread")
+        assert sh.async_.sharding.workers == 2
+
+    def test_sim_backend_rejects_workers(self):
+        from repro.collectives import broadcast, scatter
+
+        with pytest.raises(ValueError, match="backend"):
+            broadcast(Hypercube(3), 0, "sbt", 8, workers=2)
+        with pytest.raises(ValueError, match="backend"):
+            scatter(Hypercube(3), 0, "bst", 8, workers=2)
+
+
+def test_run_sharded_direct_entry_point():
+    from repro.runtime.rules import build_cluster_program
+
+    cube = Hypercube(3)
+    program = build_cluster_program(
+        cube, "broadcast", "sbt", 0, 8, 2, PortModel.ONE_PORT_FULL
+    )
+    res = run_sharded(cube, program, workers=2, start_method="thread")
+    base = run_collective(cube, "broadcast", "sbt", 0, 8, 2,
+                          PortModel.ONE_PORT_FULL)
+    assert abs(res.time - base.time) < 1e-9
+    assert res.holdings == base.holdings

@@ -1,0 +1,202 @@
+"""Wire codec: unit coverage plus Hypothesis round-trip properties."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.aggregate import ShardAggregator
+from repro.runtime.wire import (
+    WireError,
+    decode,
+    decode_frame,
+    encode,
+    encode_frame,
+)
+
+
+class TestRoundTripUnit:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**100,
+            -(2**100),
+            0.0,
+            -0.0,
+            1.5,
+            math.inf,
+            "",
+            "héllo",
+            b"",
+            b"\x00\xae\xff",
+            (),
+            (1, (2, "x")),
+            [],
+            [1, [2], {3: 4}],
+            {},
+            {"a": 1, 2: (3.0,)},
+            frozenset(),
+            frozenset({1, 2, 3}),
+            {("b", 3), ("m", 5, 0)},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_nan_round_trips(self):
+        out = decode(encode(float("nan")))
+        assert math.isnan(out)
+
+    def test_types_survive(self):
+        assert type(decode(encode((1, 2)))) is tuple
+        assert type(decode(encode([1, 2]))) is list
+        assert type(decode(encode(frozenset({1})))) is frozenset
+        assert type(decode(encode({1}))) is set
+        assert decode(encode(True)) is True
+        assert type(decode(encode(1))) is int
+
+    def test_set_encoding_is_canonical(self):
+        # equal sets encode identically whatever the build order
+        a = frozenset([("b", i) for i in range(20)])
+        b = frozenset([("b", i) for i in reversed(range(20))])
+        assert encode(a) == encode(b)
+
+    def test_heterogeneous_set_falls_back_to_repr_order(self):
+        v = frozenset({("b", 1), 7})
+        assert decode(encode(v)) == v
+
+    def test_rejects_unencodable(self):
+        with pytest.raises(WireError):
+            encode(object())
+
+    def test_rejects_trailing_bytes(self):
+        with pytest.raises(WireError):
+            decode(encode(1) + b"\x00")
+
+    def test_rejects_truncation(self):
+        data = encode((1, "abc", 2.5))
+        for cut in range(1, len(data)):
+            with pytest.raises(WireError):
+                decode(data[:cut])
+
+    def test_rejects_unknown_tag(self):
+        with pytest.raises(WireError):
+            decode(b"\xf0")
+
+
+class TestFrames:
+    def test_frame_round_trip(self):
+        data = encode_frame(3, 17, {"sends": [(0, 8, frozenset({("b", 1)}))]})
+        kind, tick, payload = decode_frame(data)
+        assert (kind, tick) == (3, 17)
+        assert payload == {"sends": [(0, 8, frozenset({("b", 1)}))]}
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(WireError):
+            decode_frame(b"\x00" + encode_frame(1, 0, None)[1:])
+        with pytest.raises(WireError):
+            decode_frame(b"")
+
+    def test_frame_trailing_bytes_rejected(self):
+        with pytest.raises(WireError):
+            decode_frame(encode_frame(1, 0, None) + b"x")
+
+
+# -- Hypothesis: arbitrary protocol payloads survive the trip ----------
+
+chunk = st.one_of(
+    st.tuples(st.just("b"), st.integers(0, 1 << 16)),
+    st.tuples(st.just("m"), st.integers(0, 1 << 16), st.integers(0, 63)),
+)
+chunkset = st.frozensets(chunk, max_size=8)
+times = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.integers(-(2**63), 2**63),
+)
+#: the shape the sharded protocol actually ships: cross-send records
+send_record = st.tuples(
+    st.integers(0, 4),                  # pass
+    st.tuples(times, st.integers()),    # key
+    st.integers(0, 1 << 14),            # src
+    st.integers(0, 1 << 14),            # dst
+    chunkset,                           # chunks
+    st.integers(0, 1 << 20),            # elems
+    times,                              # cost
+    st.integers(0, 13),                 # port
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+nested = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=5),
+        st.tuples(inner, inner),
+        st.dictionaries(st.text(max_size=5), inner, max_size=4),
+    ),
+    max_leaves=25,
+)
+
+
+class TestRoundTripProperties:
+    @given(st.lists(send_record, max_size=12))
+    def test_packet_batches_round_trip(self, batch):
+        assert decode(encode(batch)) == batch
+
+    @given(nested)
+    def test_arbitrary_payloads_round_trip(self, value):
+        assert decode(encode(value)) == value
+
+    @given(st.integers(0, 255), st.integers(-1, 1 << 30), st.lists(send_record, max_size=6))
+    def test_frames_round_trip(self, kind, tick, payload):
+        assert decode_frame(encode_frame(kind, tick, payload)) == (
+            kind, tick, payload,
+        )
+
+    @given(st.frozensets(chunk, max_size=10))
+    def test_chunk_sets_encode_canonically(self, s):
+        # rebuilding the set in a different insertion order must not
+        # change the bytes — the protocol relies on this for dedup
+        rebuilt = frozenset(sorted(s, key=repr, reverse=True))
+        assert encode(s) == encode(rebuilt)
+
+
+class TestShardAggregator:
+    def test_one_frame_per_destination(self):
+        agg = ShardAggregator()
+        agg.add(1, ("x", 1))
+        agg.add(2, ("y", 2))
+        agg.add(1, ("z", 3))
+        assert agg.pending == 3
+        frames = agg.flush(kind=3, tick=7)
+        assert sorted(frames) == [1, 2]
+        assert decode_frame(frames[1]) == (3, 7, [("x", 1), ("z", 3)])
+        assert decode_frame(frames[2]) == (3, 7, [("y", 2)])
+        assert agg.pending == 0
+        assert agg.records == 3 and agg.frames == 2
+
+    def test_aggregation_ratio(self):
+        agg = ShardAggregator()
+        assert agg.aggregation_ratio == 0.0
+        agg.extend(0, [1, 2, 3, 4])
+        agg.flush(1, 0)
+        assert agg.aggregation_ratio == 4.0
+
+    def test_empty_flush_emits_nothing(self):
+        agg = ShardAggregator()
+        assert agg.flush(1, 0) == {}
+        agg.extend(3, [])
+        assert agg.flush(1, 0) == {}
+        assert agg.frames == 0
