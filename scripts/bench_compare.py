@@ -16,6 +16,9 @@ the repo root:
 * ``--suite service``: ``benchmarks/bench_service.py`` vs
   ``BENCH_SERVICE.json`` — the multi-tenant collective service
   (scenario runs per policy, plus the admission-constrained path).
+* ``--suite workload``: ``benchmarks/bench_workload.py`` vs
+  ``BENCH_WORKLOAD.json`` — workload DAG steps (pipeline, MoE,
+  contended mice flows, the 1024-node training step, runtime backend).
 
 * ``python scripts/bench_compare.py`` — fail (exit 1) when any median
   exceeds its baseline by more than ``--threshold`` (default 50%) *and*
@@ -49,6 +52,7 @@ SUITES = {
     "sweep": ("benchmarks/bench_sweep.py", "BENCH_SWEEP.json"),
     "runtime": ("benchmarks/bench_runtime.py", "BENCH_RUNTIME.json"),
     "service": ("benchmarks/bench_service.py", "BENCH_SERVICE.json"),
+    "workload": ("benchmarks/bench_workload.py", "BENCH_WORKLOAD.json"),
 }
 
 

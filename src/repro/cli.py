@@ -12,6 +12,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro service list     # scenarios & scheduling policies
     python -m repro service run --scenario smoke-mix --policy fair-share \
         --seed 7 --metrics-json metrics.json
+    python -m repro workload list    # DAG workload scenarios
+    python -m repro workload run --scenario dp-train-n10 --steps 3 \
+        --metrics-json metrics.json
 
 ``table``, ``figure`` and ``sweep`` accept ``--jobs N`` (default:
 ``REPRO_JOBS`` or serial; 0 = all cores) to fan the experiment's point
@@ -173,6 +176,38 @@ def build_parser() -> argparse.ArgumentParser:
                          "only the jobs whose trees cross dead hardware "
                          "as degraded")
     _add_obs_options(sr)
+
+    wl = sub.add_parser(
+        "workload",
+        help="DAG workloads of collective phases (training steps, "
+             "pipelines, expert parallelism)",
+    )
+    wl_sub = wl.add_subparsers(dest="workload_command", required=True)
+    wl_sub.add_parser("list", help="list workload scenarios")
+    wr = wl_sub.add_parser(
+        "run", help="run a named workload scenario for a number of steps")
+    wr.add_argument("--scenario", required=True, metavar="NAME",
+                    help="workload scenario (see 'repro workload list')")
+    wr.add_argument("--steps", type=int, default=1,
+                    help="training steps to execute (serial; default 1)")
+    wr.add_argument("--seed", type=int, default=0,
+                    help="workload seed (same seed -> same step DAGs)")
+    wr.add_argument("--backend", choices=("sim", "runtime"), default="sim",
+                    help="sim: one merged vectorized-engine run per step "
+                         "(concurrent phases contend); runtime: execute "
+                         "each phase on the actor runtime (serial DAGs "
+                         "of broadcast/scatter only)")
+    wr.add_argument("--engine", choices=ENGINES, default=None,
+                    help="event engine; the merged-program lowering "
+                         "requires 'vectorized' (the default)")
+    wr.add_argument("--jobs", "-j", type=int, default=None,
+                    help="worker processes for schedule pregeneration "
+                         "(default: 1; 0 = all cores); output is "
+                         "identical at any worker count")
+    wr.add_argument("--report-json", default=None, metavar="PATH",
+                    help="write the full per-step workload report to "
+                         "PATH as JSON ('-' for stdout)")
+    _add_obs_options(wr)
 
     for name, algos in (("broadcast", BROADCAST_ALGORITHMS), ("scatter", SCATTER_ALGORITHMS)):
         c = sub.add_parser(name, help=f"simulate a {name} and report costs")
@@ -354,6 +389,73 @@ def _run_service_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_workload_command(args: argparse.Namespace) -> int:
+    from repro.workloads import (
+        WORKLOAD_SCENARIOS,
+        get_workload_scenario,
+        run_workload,
+    )
+
+    if args.workload_command == "list":
+        print("workload scenarios:")
+        for name, description in WORKLOAD_SCENARIOS.describe():
+            print(f"  {name:<20} {description}")
+        return 0
+
+    try:
+        scenario = get_workload_scenario(args.scenario)
+        workload = scenario.build(args.seed)
+        report = run_workload(
+            workload, args.steps,
+            engine=args.engine, backend=args.backend, jobs=args.jobs,
+        )
+    except (ValueError, FaultError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2 if isinstance(exc, ValueError) else 1
+    summary = report.summary()
+    print(f"workload run: scenario {scenario.name!r} on "
+          f"n={scenario.dimension} cube, backend {report.backend}, "
+          f"seed {args.seed}")
+    print(f"  steps             : {report.num_steps}")
+    print(f"  makespan          : {report.makespan:.6g}")
+    print(f"  step time mean/max: {summary['step_time_mean']:.6g} / "
+          f"{summary['step_time_max']:.6g}")
+    print(f"  critical path     : compute "
+          f"{summary['critical_compute_time']:.6g}, comm "
+          f"{summary['critical_comm_time']:.6g}")
+    if summary["degraded_steps"]:
+        print(f"  degraded steps    : {summary['degraded_steps']}")
+    for step in report.steps:
+        cp = "->".join(step.critical_path.phases)
+        line = (f"  step {step.step}: duration {step.duration:.6g}, "
+                f"{len(step.phases)} phases")
+        if step.link_utilization.links_used:
+            line += f", link util max {step.link_utilization.max:.1%}"
+        ratio = step.stragglers.ratio
+        if ratio == ratio:  # not NaN
+            line += f", straggler ratio {ratio:.3f}"
+        if step.degraded:
+            degraded = [p.name for p in step.phases if p.degraded]
+            line += f", degraded: {', '.join(degraded)}"
+        print(line)
+        print(f"    critical: {cp}")
+    if args.report_json:
+        payload = json.dumps(report.to_dict(), indent=2)
+        if args.report_json == "-":
+            print(payload)
+        else:
+            with open(args.report_json, "w") as f:
+                f.write(payload + "\n")
+            print(f"workload report written to {args.report_json}")
+    _write_metrics(
+        args,
+        scenario=scenario.name,
+        seed=args.seed,
+        workload=report.to_dict(),
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -397,6 +499,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "service":
         return _run_service_command(args)
+
+    if args.command == "workload":
+        return _run_workload_command(args)
 
     cube = Hypercube(args.dim)
     port_model = _PORT_CHOICES[args.ports]

@@ -2,6 +2,8 @@
 
 from repro.collectives.api import (
     BACKENDS,
+    ROOTED_OPS,
+    SCHEDULE_OPS,
     allgather,
     allreduce,
     alltoall_personalized,
@@ -12,10 +14,12 @@ from repro.collectives.api import (
     reduce,
     scatter,
 )
-from repro.collectives.result import CollectiveResult
+from repro.collectives.result import AllreduceResult, CollectiveResult
 
 __all__ = [
     "BACKENDS",
+    "ROOTED_OPS",
+    "SCHEDULE_OPS",
     "allgather",
     "allreduce",
     "alltoall_personalized",
@@ -25,5 +29,6 @@ __all__ = [
     "gather",
     "reduce",
     "scatter",
+    "AllreduceResult",
     "CollectiveResult",
 ]

@@ -19,7 +19,7 @@ reduce      ``"sbt"``; ``allreduce`` composes reduce + broadcast
 from __future__ import annotations
 
 from repro.cache import cached_tree
-from repro.collectives.result import CollectiveResult
+from repro.collectives.result import AllreduceResult, CollectiveResult
 from repro.obs.runs import RunCollector
 from repro.routing import (
     allgather_initial_holdings,
@@ -72,12 +72,19 @@ BROADCAST_ALGORITHMS = ("sbt", "msbt", "tcbt", "hp", "hp-centered", "hp-dual")
 SCATTER_ALGORITHMS = ("sbt", "bst", "tcbt")
 
 #: rooted/rootless collective kinds `collective_schedule` can build
-SCHEDULE_OPS = ("broadcast", "scatter", "allgather", "alltoall")
+SCHEDULE_OPS = (
+    "broadcast", "scatter", "gather", "reduce", "allgather", "alltoall",
+)
+
+#: the ops within SCHEDULE_OPS whose ``source`` names a root node
+ROOTED_OPS = ("broadcast", "scatter", "gather", "reduce")
 
 #: default algorithm per collective kind
 DEFAULT_ALGORITHMS = {
     "broadcast": "msbt",
     "scatter": "bst",
+    "gather": "bst",
+    "reduce": "sbt",
     "allgather": "dimension-exchange",
     "alltoall": "dimension-exchange",
 }
@@ -589,22 +596,34 @@ def allreduce(
     run_event_sim: bool = False,
     broadcast_algorithm: str = "sbt",
     engine: str | None = None,
-) -> tuple[CollectiveResult, CollectiveResult]:
-    """Reduce to node 0 then broadcast the result back (allreduce).
+    root: int = 0,
+) -> AllreduceResult:
+    """Reduce to ``root`` then broadcast the result back (allreduce).
 
-    The classic two-phase composition; both phases are returned so the
-    caller can report their costs separately or summed
-    (``phase1.time + phase2.time``).
+    The classic two-phase composition over the paper's trees: the SBT
+    reduce is the reverse broadcast, then the combined operand is
+    broadcast from the same root.  Returns an
+    :class:`~repro.collectives.result.AllreduceResult` carrying both
+    phase results, the summed cost view, and one uniform ``metrics``
+    dict (``op="allreduce"``); it unpacks as ``(phase1, phase2)`` for
+    callers that report the phases separately.
     """
-    phase1 = reduce(
-        cube, 0, message_elems, packet_elems, port_model, machine,
-        run_event_sim, engine=engine,
+    collector = RunCollector(
+        "allreduce", f"sbt+{broadcast_algorithm}"
     )
-    phase2 = broadcast(
-        cube, 0, broadcast_algorithm, message_elems, packet_elems,
-        port_model, machine, run_event_sim, engine=engine,
-    )
-    return phase1, phase2
+    with collector.phase("reduce"):
+        phase1 = reduce(
+            cube, root, message_elems, packet_elems, port_model, machine,
+            run_event_sim, engine=engine,
+        )
+    with collector.phase("broadcast"):
+        phase2 = broadcast(
+            cube, root, broadcast_algorithm, message_elems, packet_elems,
+            port_model, machine, run_event_sim, engine=engine,
+        )
+    result = AllreduceResult(reduce=phase1, broadcast=phase2)
+    collector.finalize(result)
+    return result
 
 
 def allgather(
@@ -687,16 +706,19 @@ def collective_schedule(
 ) -> tuple[Schedule, dict[int, set[Chunk]]]:
     """Build the schedule + initial holdings for one collective job.
 
-    The schedule-generation halves of :func:`broadcast`, :func:`scatter`,
-    :func:`allgather` and :func:`alltoall_personalized`, exposed as one
-    entry point that does *not* run any engine — the service layer
-    (:mod:`repro.service`) uses it to compose many jobs into a single
-    merged program before execution.
+    The schedule-generation halves of :func:`broadcast`,
+    :func:`scatter`, :func:`gather`, :func:`reduce`, :func:`allgather`
+    and :func:`alltoall_personalized`, exposed as one entry point that
+    does *not* run any engine — the service layer
+    (:mod:`repro.service`) and the workload layer
+    (:mod:`repro.workloads`) use it to compose many jobs/phases into a
+    single merged program before execution.
 
     Args:
         cube: the host cube.
         op: one of ``SCHEDULE_OPS`` (``"broadcast"``, ``"scatter"``,
-            ``"allgather"``, ``"alltoall"``).
+            ``"gather"``, ``"reduce"``, ``"allgather"``,
+            ``"alltoall"``).
         algorithm: algorithm within the op (default per op:
             ``DEFAULT_ALGORITHMS``).
         source: root node (rooted ops only; ignored for
@@ -726,6 +748,28 @@ def collective_schedule(
             port_model, subtree_order,
         )
         return sched, {source: set(sched.chunk_sizes)}
+    if op == "gather":
+        sched = gather_from_scatter(
+            _scatter_schedule(
+                cube, source, algorithm, message_elems, packet_elems,
+                port_model, subtree_order,
+            )
+        )
+        return sched, {
+            v: {c for c in sched.chunk_sizes if c[0] == MSG and c[1] == v}
+            for v in cube.nodes()
+        }
+    if op == "reduce":
+        if algorithm != "sbt":
+            raise ValueError(
+                f"reduce implements 'sbt', got {algorithm!r}"
+            )
+        sched = sbt_reduce_schedule(
+            cube, source, message_elems, packet_elems, port_model
+        )
+        return sched, reduce_initial_holdings(
+            cube, message_elems, packet_elems
+        )
     if op == "allgather":
         if algorithm != "dimension-exchange":
             raise ValueError(
@@ -778,6 +822,20 @@ def check_delivery(
             if v == source:
                 continue
             want = {c for c in chunks if c[1] == v}
+        elif op == "gather":
+            # only the root has a delivery obligation: every message
+            if v != source:
+                continue
+            want = set(chunks)
+        elif op == "reduce":
+            # the root must end holding its own operand plus the
+            # combined partial of each SBT child (source ^ 2^j)
+            if v != source:
+                continue
+            owners = {source} | {
+                source ^ (1 << j) for j in range(cube.dimension)
+            }
+            want = {c for c in chunks if c[1] in owners}
         elif op == "allgather":
             want = set(chunks)
         else:  # alltoall: every chunk addressed to v (c[2] = destination)

@@ -11,7 +11,7 @@ from repro.sim.schedule import Schedule
 from repro.sim.synchronous import SyncResult
 from repro.sim.trace import LinkStats
 
-__all__ = ["CollectiveResult"]
+__all__ = ["AllreduceResult", "CollectiveResult"]
 
 
 @dataclass
@@ -79,5 +79,92 @@ class CollectiveResult:
     def __repr__(self) -> str:
         return (
             f"CollectiveResult({self.algorithm!r}, cycles={self.cycles}, "
+            f"time={self.time:.6g})"
+        )
+
+
+@dataclass
+class AllreduceResult:
+    """Outcome of the two-phase allreduce composition.
+
+    The paper's trees make allreduce a *reverse broadcast* (the SBT
+    reduce) followed by a broadcast of the combined operand from the
+    same root; this object packages both phase results with the summed
+    cost view and one uniform ``metrics`` dict, so allreduce reports
+    exactly like the single-schedule collectives.
+
+    Iterating or indexing yields ``(reduce, broadcast)`` — the tuple
+    shape :func:`repro.collectives.allreduce` historically returned —
+    so ``phase1, phase2 = allreduce(...)`` keeps working.
+    """
+
+    reduce: CollectiveResult
+    broadcast: CollectiveResult
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter((self.reduce, self.broadcast))
+
+    def __getitem__(self, index):
+        return (self.reduce, self.broadcast)[index]
+
+    def __len__(self) -> int:
+        return 2
+
+    @property
+    def phases(self) -> tuple[CollectiveResult, CollectiveResult]:
+        """The two phase results, in execution order."""
+        return (self.reduce, self.broadcast)
+
+    @property
+    def cycles(self) -> int:
+        """Routing steps of both phases, summed (phases are serial)."""
+        return self.reduce.cycles + self.broadcast.cycles
+
+    @property
+    def time(self) -> float:
+        """Simulated completion time: the phases run back to back."""
+        return self.reduce.time + self.broadcast.time
+
+    @property
+    def degraded(self) -> bool:
+        """True when either phase missed data."""
+        return self.reduce.degraded or self.broadcast.degraded
+
+    @property
+    def undelivered_nodes(self) -> frozenset[int]:
+        """Nodes either phase could not serve."""
+        return self.reduce.undelivered_nodes | self.broadcast.undelivered_nodes
+
+    @property
+    def link_stats(self) -> LinkStats:
+        """Combined per-edge traffic of both phases."""
+        return LinkStats.merged(
+            [self.reduce.link_stats, self.broadcast.link_stats]
+        )
+
+    @property
+    def algorithm(self) -> str:
+        """Composition label."""
+        return (
+            f"{self.reduce.algorithm}+{self.broadcast.algorithm}"
+        )
+
+    # -- RunCollector compatibility ------------------------------------
+    # finalize() reads ``result.async_``/``result.sync`` to find the
+    # executed result's link stats; the composite exposes itself as the
+    # executed view so the collector sees the merged traffic.
+
+    @property
+    def async_(self) -> None:
+        return None
+
+    @property
+    def sync(self) -> "AllreduceResult":
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"AllreduceResult({self.algorithm!r}, cycles={self.cycles}, "
             f"time={self.time:.6g})"
         )

@@ -16,6 +16,7 @@ from repro.experiments.parallel import (
     run_sweep,
     sweep_grid,
 )
+from repro.experiments.registry import ScenarioRegistry
 from repro.experiments.scatter_sweep import run_scatter_packet_sweep
 from repro.experiments.scenarios import SCENARIOS, Scenario, get_scenario
 from repro.experiments.harness import TableReport, format_table, relative_error
@@ -33,6 +34,7 @@ __all__ = [
     "PointStats",
     "SCENARIOS",
     "Scenario",
+    "ScenarioRegistry",
     "SweepResult",
     "SweepStats",
     "TenantProfile",

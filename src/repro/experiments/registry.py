@@ -1,0 +1,111 @@
+"""Shared scenario-registry machinery.
+
+Both registry surfaces of the repo — the multi-tenant service's
+:data:`~repro.experiments.scenarios.SCENARIOS` and the workload
+layer's :data:`~repro.workloads.scenarios.WORKLOAD_SCENARIOS` — need
+the same guarantees:
+
+* **valid names**: lowercase kebab-case, so CLI flags, CI job names
+  and baseline keys never need quoting or escaping;
+* **no silent shadowing**: registering two entries under one name is a
+  programming error and raises immediately, instead of the last writer
+  winning;
+* **deterministic listing**: iteration order is sorted by name, so
+  ``repro service list`` / ``repro workload list`` and every test that
+  snapshots the listing render identically on any platform or hash
+  seed.
+
+:class:`ScenarioRegistry` is a read-mostly :class:`~collections.abc.
+Mapping`, so existing ``sorted(SCENARIOS)`` / ``SCENARIOS[name]`` call
+sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator, Mapping
+from typing import Generic, Protocol, TypeVar
+
+__all__ = ["Named", "ScenarioRegistry"]
+
+#: names must be CLI/CI-safe: lowercase kebab-case, digits allowed
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9-]*$")
+
+
+class Named(Protocol):
+    """Anything registrable: it has a ``name`` and a ``description``."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def description(self) -> str: ...
+
+
+T = TypeVar("T", bound=Named)
+
+
+class ScenarioRegistry(Mapping[str, T], Generic[T]):
+    """A name-keyed registry with validation and sorted iteration.
+
+    Args:
+        kind: human label for error messages (``"scenario"``,
+            ``"workload scenario"``, ...).
+        items: entries to register up front.
+
+    Raises:
+        ValueError: on an invalid or duplicate name.
+    """
+
+    def __init__(self, kind: str = "scenario", items: "tuple[T, ...] | list[T]" = ()):
+        self._kind = kind
+        self._items: dict[str, T] = {}
+        for item in items:
+            self.register(item)
+
+    def register(self, item: T) -> T:
+        """Add ``item`` under ``item.name``; returns it for chaining."""
+        name = item.name
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid {self._kind} name {name!r}: use lowercase "
+                "kebab-case (letters, digits, dashes; must not start "
+                "with a dash)"
+            )
+        if name in self._items:
+            raise ValueError(
+                f"duplicate {self._kind} name {name!r}: already registered"
+            )
+        self._items[name] = item
+        return item
+
+    def get_or_raise(self, name: str) -> T:
+        """The entry under ``name``, with a helpful error when absent."""
+        item = self._items.get(name)
+        if item is None:
+            raise ValueError(
+                f"unknown {self._kind} {name!r}; pick one of {sorted(self._items)}"
+            )
+        return item
+
+    def names(self) -> list[str]:
+        """Registered names, sorted (the deterministic listing order)."""
+        return sorted(self._items)
+
+    def describe(self) -> list[tuple[str, str]]:
+        """``(name, description)`` rows in listing order."""
+        return [(n, self._items[n].description) for n in self.names()]
+
+    # -- Mapping interface (sorted iteration) --------------------------
+
+    def __getitem__(self, name: str) -> T:
+        return self._items[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"ScenarioRegistry({self._kind}: {', '.join(self.names())})"

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments.injector import TenantProfile, poisson_jobs
+from repro.experiments.registry import ScenarioRegistry
 from repro.service.jobs import JobSpec
 
 __all__ = ["Scenario", "SCENARIOS", "get_scenario"]
@@ -133,10 +134,11 @@ def _hog_vs_mice(seed: int) -> list[JobSpec]:
     )
 
 
-#: name -> scenario, the CLI registry
-SCENARIOS: dict[str, Scenario] = {
-    s.name: s
-    for s in (
+#: name -> scenario, the CLI registry (sorted iteration, duplicate
+#: names rejected at import time — see ScenarioRegistry)
+SCENARIOS: ScenarioRegistry[Scenario] = ScenarioRegistry(
+    "scenario",
+    (
         Scenario(
             name="smoke-mix",
             description="n=6, two tenants, small mixed broadcast/scatter "
@@ -165,15 +167,10 @@ SCENARIOS: dict[str, Scenario] = {
             dimension=8,
             builder=_hog_vs_mice,
         ),
-    )
-}
+    ),
+)
 
 
 def get_scenario(name: str) -> Scenario:
     """The scenario registered under ``name``."""
-    scenario = SCENARIOS.get(name)
-    if scenario is None:
-        raise ValueError(
-            f"unknown scenario {name!r}; pick one of {sorted(SCENARIOS)}"
-        )
-    return scenario
+    return SCENARIOS.get_or_raise(name)

@@ -65,11 +65,18 @@ __all__ = [
     "SWEEP_RUNS",
     "SWEEP_WALL_SECONDS",
     "SWEEP_WORKER_UTILIZATION",
+    "WORKLOAD_LINK_UTILIZATION",
+    "WORKLOAD_PHASES",
+    "WORKLOAD_RUN_SECONDS",
+    "WORKLOAD_STEP_TIME",
+    "WORKLOAD_STEPS",
+    "WORKLOAD_STRAGGLER_RATIO",
     "engine_run_finished",
     "runtime_run_finished",
     "service_run_finished",
     "sharded_run_finished",
     "sweep_finished",
+    "workload_run_finished",
 ]
 
 # -- engines ----------------------------------------------------------
@@ -256,6 +263,39 @@ SERVICE_RUN_SECONDS = REGISTRY.histogram(
     "Wall-clock seconds per service run (admission loop + engine).",
 )
 
+# -- workloads --------------------------------------------------------
+
+WORKLOAD_STEPS = REGISTRY.counter(
+    "repro_workload_steps_total",
+    "Workload steps executed.",
+    ("workload", "backend", "outcome"),
+)
+WORKLOAD_PHASES = REGISTRY.counter(
+    "repro_workload_phases_total",
+    "Workload phases executed, by phase kind / collective op.",
+    ("workload", "kind"),
+)
+WORKLOAD_STEP_TIME = REGISTRY.histogram(
+    "repro_workload_step_time",
+    "Simulated duration per workload step.",
+    ("workload",),
+    buckets=SIM_TIME_BUCKETS,
+)
+WORKLOAD_LINK_UTILIZATION = REGISTRY.gauge(
+    "repro_workload_link_utilization",
+    "Per-link utilization of the most recent workload run's steps.",
+    ("workload", "stat"),
+)
+WORKLOAD_STRAGGLER_RATIO = REGISTRY.gauge(
+    "repro_workload_straggler_ratio",
+    "max/median node-lag ratio of the most recent workload run (worst step).",
+    ("workload",),
+)
+WORKLOAD_RUN_SECONDS = REGISTRY.histogram(
+    "repro_workload_run_seconds",
+    "Wall-clock seconds per workload run (dependency loop + engine).",
+)
+
 # -- collectives ------------------------------------------------------
 
 COLLECTIVE_RUNS = REGISTRY.counter(
@@ -400,6 +440,43 @@ def service_run_finished(result: Any, *, seconds: float) -> None:
                     metric=metric, quantile=quantile,
                 ).set(summary[metric][quantile])
     SERVICE_RUN_SECONDS.observe(seconds)
+
+
+def workload_run_finished(report: Any, *, seconds: float) -> None:
+    """Flush one workload run's telemetry (a ``WorkloadReport``-like).
+
+    Wall-clock time lives *only* here — the report object itself is
+    pure simulated time so the determinism suite can fingerprint it.
+    """
+    if not REGISTRY.enabled:
+        return
+    import math
+
+    name = report.workload
+    util_max = 0.0
+    util_mean_worst = 0.0
+    ratio_worst = float("nan")
+    for step in report.steps:
+        outcome = "degraded" if step.degraded else "completed"
+        WORKLOAD_STEPS.labels(
+            workload=name, backend=report.backend, outcome=outcome
+        ).inc()
+        WORKLOAD_STEP_TIME.labels(workload=name).observe(step.duration)
+        for phase in step.phases:
+            kind = phase.op if phase.op is not None else "compute"
+            WORKLOAD_PHASES.labels(workload=name, kind=kind).inc()
+        util_max = max(util_max, step.link_utilization.max)
+        util_mean_worst = max(util_mean_worst, step.link_utilization.mean)
+        r = step.stragglers.ratio
+        if not math.isnan(r) and (math.isnan(ratio_worst) or r > ratio_worst):
+            ratio_worst = r
+    WORKLOAD_LINK_UTILIZATION.labels(workload=name, stat="max").set(util_max)
+    WORKLOAD_LINK_UTILIZATION.labels(workload=name, stat="mean").set(
+        util_mean_worst
+    )
+    if not math.isnan(ratio_worst):
+        WORKLOAD_STRAGGLER_RATIO.labels(workload=name).set(ratio_worst)
+    WORKLOAD_RUN_SECONDS.observe(seconds)
 
 
 def sweep_finished(stats: Any) -> None:

@@ -52,7 +52,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Iterable, Sequence
 
-from repro.collectives.api import check_delivery, collective_schedule
+from repro.collectives.api import ROOTED_OPS, check_delivery, collective_schedule
 from repro.obs.instruments import service_run_finished
 from repro.service.exec import ExecutionView, execute_program
 from repro.service.jobs import JobResult, JobSpec
@@ -300,7 +300,7 @@ class CollectiveService:
 
     def submit(self, spec: JobSpec) -> int:
         """Register one job; returns its ``job_id`` (submission order)."""
-        if spec.op in ("broadcast", "scatter"):
+        if spec.op in ROOTED_OPS:
             self.cube.check_node(spec.source)
         self._specs.append(spec)
         return len(self._specs) - 1

@@ -1,0 +1,67 @@
+"""The shared scenario-registry helper (name rules, duplicates, order)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.registry import ScenarioRegistry
+
+
+@dataclass(frozen=True)
+class _Item:
+    name: str
+    description: str = "an item"
+
+
+class TestNames:
+    @pytest.mark.parametrize("name", ["a", "dp-train-n10", "x9", "0day"])
+    def test_kebab_case_accepted(self, name):
+        reg = ScenarioRegistry("thing")
+        reg.register(_Item(name))
+        assert name in reg
+
+    @pytest.mark.parametrize(
+        "name", ["", "-lead", "Big", "under_score", "sp ace", "dot.名"]
+    )
+    def test_invalid_names_rejected(self, name):
+        reg = ScenarioRegistry("thing")
+        with pytest.raises(ValueError, match="invalid thing name"):
+            reg.register(_Item(name))
+
+    def test_duplicate_rejected(self):
+        reg = ScenarioRegistry("thing", (_Item("dup"),))
+        with pytest.raises(ValueError, match="duplicate thing name 'dup'"):
+            reg.register(_Item("dup"))
+
+
+class TestLookup:
+    def test_get_or_raise_lists_choices(self):
+        reg = ScenarioRegistry("thing", (_Item("b"), _Item("a")))
+        assert reg.get_or_raise("a").name == "a"
+        with pytest.raises(ValueError, match=r"pick one of \['a', 'b'\]"):
+            reg.get_or_raise("c")
+
+    def test_mapping_interface(self):
+        reg = ScenarioRegistry("thing", (_Item("z"), _Item("a")))
+        assert reg["z"].name == "z"
+        assert len(reg) == 2
+        assert "a" in reg and "q" not in reg
+
+
+class TestDeterministicListing:
+    def test_iteration_sorted_regardless_of_insertion(self):
+        reg = ScenarioRegistry("thing", (_Item("zz"), _Item("aa"), _Item("mm")))
+        assert list(reg) == ["aa", "mm", "zz"]
+        assert reg.names() == ["aa", "mm", "zz"]
+
+    def test_describe_rows(self):
+        reg = ScenarioRegistry(
+            "thing", (_Item("b", "second"), _Item("a", "first"))
+        )
+        assert reg.describe() == [("a", "first"), ("b", "second")]
+
+    def test_repr_mentions_kind_and_names(self):
+        reg = ScenarioRegistry("gizmo", (_Item("one"),))
+        assert "gizmo" in repr(reg) and "one" in repr(reg)

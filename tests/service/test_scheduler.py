@@ -24,7 +24,7 @@ def _jobs(*specs):
 class TestJobSpec:
     def test_rejects_unknown_op(self):
         with pytest.raises(ValueError, match="op must be one of"):
-            JobSpec(tenant="t", op="reduce")
+            JobSpec(tenant="t", op="allscatter")
 
     def test_rejects_negative_arrival(self):
         with pytest.raises(ValueError, match="arrival"):
