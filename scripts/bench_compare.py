@@ -19,6 +19,10 @@ the repo root:
 * ``--suite workload``: ``benchmarks/bench_workload.py`` vs
   ``BENCH_WORKLOAD.json`` — workload DAG steps (pipeline, MoE,
   contended mice flows, the 1024-node training step, runtime backend).
+* ``--suite topology``: ``benchmarks/bench_topology.py`` vs
+  ``BENCH_TOPOLOGY.json`` — the torus paths (ring-decomposition trees,
+  the Jung–Sakho all-broadcast, torus collectives end to end) and the
+  vectorized adjacency resolution.
 
 * ``python scripts/bench_compare.py`` — fail (exit 1) when any median
   exceeds its baseline by more than ``--threshold`` (default 50%) *and*
@@ -53,6 +57,7 @@ SUITES = {
     "runtime": ("benchmarks/bench_runtime.py", "BENCH_RUNTIME.json"),
     "service": ("benchmarks/bench_service.py", "BENCH_SERVICE.json"),
     "workload": ("benchmarks/bench_workload.py", "BENCH_WORKLOAD.json"),
+    "topology": ("benchmarks/bench_topology.py", "BENCH_TOPOLOGY.json"),
 }
 
 

@@ -19,7 +19,13 @@ Quick start::
 """
 
 from repro._version import __version__
-from repro.topology import DirectedEdge, Hypercube
+from repro.topology import (
+    DirectedEdge,
+    Hypercube,
+    Topology,
+    Torus,
+    resolve_topology,
+)
 from repro.trees import (
     BalancedSpanningTree,
     HamiltonianPathTree,
@@ -33,6 +39,9 @@ __all__ = [
     "__version__",
     "DirectedEdge",
     "Hypercube",
+    "Torus",
+    "Topology",
+    "resolve_topology",
     "SpanningTree",
     "SpanningBinomialTree",
     "MSBTGraph",
@@ -48,10 +57,12 @@ def _extend_api() -> None:
     from repro.analysis import models  # noqa: F401
     from repro.cache import cache_stats, caching_enabled, clear_caches, configure
     from repro.collectives.api import (
+        all_broadcast,
         allgather,
         allreduce,
         alltoall_personalized,
         broadcast,
+        default_algorithm,
         gather,
         reduce,
         scatter,
@@ -67,7 +78,9 @@ def _extend_api() -> None:
         reduce=reduce,
         allgather=allgather,
         allreduce=allreduce,
+        all_broadcast=all_broadcast,
         alltoall_personalized=alltoall_personalized,
+        default_algorithm=default_algorithm,
         MachineParams=MachineParams,
         IPSC_D7=IPSC_D7,
         PortModel=PortModel,
@@ -87,7 +100,9 @@ def _extend_api() -> None:
             "reduce",
             "allgather",
             "allreduce",
+            "all_broadcast",
             "alltoall_personalized",
+            "default_algorithm",
             "MachineParams",
             "IPSC_D7",
             "PortModel",

@@ -36,7 +36,7 @@ from repro.cache.lru import MISSING, LRUCache, caching_enabled
 from repro.sim.faults import FaultPlan
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Schedule
-from repro.topology.hypercube import Hypercube
+from repro.topology.base import Topology
 from repro.trees.base import SpanningTree
 
 __all__ = ["memoize_schedule"]
@@ -46,8 +46,11 @@ F = TypeVar("F", bound=Callable[..., Schedule])
 
 def _normalize(value: Any) -> Hashable:
     """A hashable cache-key component for one generator argument."""
-    if isinstance(value, Hypercube):
-        return ("cube", value.dimension)
+    if isinstance(value, Topology):
+        # The full token — ("hypercube", n) vs ("torus", n, k) — so
+        # different topologies at the same n can never share an entry,
+        # in memory or on disk.
+        return value.cache_token()
     if isinstance(value, PortModel):
         return ("port", value.value)
     if isinstance(value, SpanningTree):

@@ -1,10 +1,12 @@
-"""Spanning-tree instance cache exploiting XOR translation symmetry.
+"""Spanning-tree instance cache exploiting translation symmetry.
 
-All tree families in :mod:`repro.trees` are *translation equivariant*:
-the tree rooted at ``s`` is the source-0 tree with every address XORed
-by ``s`` (``parent_s(i) = parent_0(i ^ s) ^ s``, §2 of the paper).  The
-cache therefore builds one canonical instance per ``(class, n[, j])``
-at root 0 and derives any other root by translating the canonical
+All tree families in :mod:`repro.trees` are *translation equivariant*
+under their topology's automorphism: the tree rooted at ``s`` is the
+source-0 tree with every address translated by ``s`` (XOR on the
+hypercube — ``parent_s(i) = parent_0(i ^ s) ^ s``, §2 of the paper —
+coordinate-wise addition mod ``k`` on the torus).  The cache therefore
+builds one canonical instance per ``(class, topology[, j])`` at root 0
+and derives any other root by translating the canonical
 parents/children/levels/subtree-size maps — O(N) dict work instead of
 re-running the family's construction logic per node.
 
@@ -20,6 +22,7 @@ from typing import TypeVar
 
 from repro.cache.disk import tree_disk
 from repro.cache.lru import MISSING, LRUCache, caching_enabled
+from repro.topology.base import Topology, topology_token
 from repro.topology.hypercube import Hypercube
 from repro.trees.base import SpanningTree
 from repro.trees.msbt import EdgeReversedSBT, MSBTGraph
@@ -28,9 +31,9 @@ __all__ = ["cached_tree", "cached_msbt_graph"]
 
 T = TypeVar("T", bound=SpanningTree)
 
-#: canonical root-0 instances, keyed (qualname, n, extra)
+#: canonical root-0 instances, keyed (qualname, topology token, extra)
 _canonical = LRUCache("trees.canonical", maxsize=64)
-#: translated instances, keyed (qualname, n, root, extra)
+#: translated instances, keyed (qualname, topology token, root, extra)
 _instances = LRUCache("trees.instances", maxsize=256)
 #: MSBT graphs, keyed (n, source)
 _msbt_graphs = LRUCache("trees.msbt_graphs", maxsize=64)
@@ -39,38 +42,40 @@ _msbt_graphs = LRUCache("trees.msbt_graphs", maxsize=64)
 _TRANSLATED = ("parents_map", "children_map", "levels", "subtree_sizes")
 
 
-def _build(cls: type[T], cube: Hypercube, root: int, extra: tuple) -> T:
+def _build(cls: type[T], cube: Topology, root: int, extra: tuple) -> T:
     if cls is EdgeReversedSBT:
         return cls(cube, *extra, root)  # type: ignore[return-value]
     return cls(cube, root, *extra)
 
 
 def _translate(canonical: SpanningTree, instance: SpanningTree, s: int) -> None:
-    """Inject the canonical maps XOR-translated by ``s`` into ``instance``."""
+    """Inject the canonical maps translated by ``s`` into ``instance``."""
+    tr = canonical.cube.translate
     c_parents = canonical.parents_map
     c_children = canonical.children_map
     c_levels = canonical.levels
     c_sizes = canonical.subtree_sizes
     instance.__dict__["parents_map"] = {
-        i ^ s: (None if p is None else p ^ s) for i, p in c_parents.items()
+        tr(i, s): (None if p is None else tr(p, s)) for i, p in c_parents.items()
     }
     instance.__dict__["children_map"] = {
-        i ^ s: tuple(sorted(c ^ s for c in kids))
+        tr(i, s): tuple(sorted(tr(c, s) for c in kids))
         for i, kids in c_children.items()
     }
-    instance.__dict__["levels"] = {i ^ s: lvl for i, lvl in c_levels.items()}
+    instance.__dict__["levels"] = {tr(i, s): lvl for i, lvl in c_levels.items()}
     instance.__dict__["subtree_sizes"] = {
-        i ^ s: sz for i, sz in c_sizes.items()
+        tr(i, s): sz for i, sz in c_sizes.items()
     }
 
 
-def cached_tree(cls: type[T], cube: Hypercube, root: int = 0, *extra) -> T:
+def cached_tree(cls: type[T], cube: Topology, root: int = 0, *extra) -> T:
     """A possibly-cached instance of tree family ``cls`` rooted at ``root``.
 
     Args:
         cls: a :class:`~repro.trees.base.SpanningTree` subclass whose
-            construction is deterministic in ``(cube, root, *extra)``.
-        cube: host hypercube.
+            construction is deterministic in ``(cube, root, *extra)``
+            and translation-equivariant under ``cube.translate``.
+        cube: host topology.
         root: tree root (the collective's source node).
         extra: extra constructor arguments identifying the member of
             the family — e.g. the ERSBT tree index ``j``.
@@ -79,12 +84,12 @@ def cached_tree(cls: type[T], cube: Hypercube, root: int = 0, *extra) -> T:
     """
     if not caching_enabled():
         return _build(cls, cube, root, extra)
-    n = cube.dimension
-    key = (cls.__qualname__, n, root, extra)
+    topo = topology_token(cube)
+    key = (cls.__qualname__, topo, root, extra)
     inst = _instances.get(key)
     if inst is not MISSING:
         return inst
-    ckey = (cls.__qualname__, n, extra)
+    ckey = (cls.__qualname__, topo, extra)
     canonical = _canonical.get(ckey)
     if canonical is MISSING:
         canonical = tree_disk.fetch(ckey)

@@ -7,6 +7,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro sweep all --jobs 4      # every experiment, 4 workers
     python -m repro broadcast --dim 5 --algorithm msbt -M 960 -B 60
     python -m repro scatter --dim 5 --algorithm bst -M 64 --ports all
+    python -m repro broadcast --topology torus --dim 2 --k 5 -M 60
+    python -m repro all-broadcast --topology torus --dim 3 --k 4 --ports all
+    python -m repro allreduce --dim 4 -M 128 --ports full
     python -m repro broadcast --dim 4 --backend runtime \
         --dead-link 0:1 --on-fault repair --trace-chrome trace.json
     python -m repro service list     # scenarios & scheduling policies
@@ -34,8 +37,12 @@ from contextlib import nullcontext
 
 from repro.collectives.api import (
     BROADCAST_ALGORITHMS,
+    REDUCE_ALGORITHMS,
     SCATTER_ALGORITHMS,
+    all_broadcast,
+    allreduce,
     broadcast,
+    reduce,
     scatter,
 )
 from repro.obs import configure_logging, profiled, write_metrics_json
@@ -46,6 +53,7 @@ from repro.sim.machine import IPSC_D7, MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.validate import profile_schedule
 from repro.service import POLICIES, AdmissionControl, run_service
+from repro.topology import TOPOLOGY_KINDS, resolve_topology
 from repro.topology.hypercube import Hypercube
 
 __all__ = ["main", "build_parser"]
@@ -74,6 +82,17 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         help="persist generated trees/schedules under DIR "
              "(default: REPRO_CACHE_DIR)")
     _add_engine_option(parser)
+
+
+def _add_topology_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology", choices=TOPOLOGY_KINDS, default="hypercube",
+        help="host topology: hypercube (2^dim nodes) or torus "
+             "(k-ary dim-cube, k^dim nodes)")
+    parser.add_argument(
+        "--k", type=int, default=3, metavar="K",
+        help="torus arity (nodes per ring; --topology torus only; "
+             "default 3)")
 
 
 def _add_engine_option(parser: argparse.ArgumentParser) -> None:
@@ -211,9 +230,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     for name, algos in (("broadcast", BROADCAST_ALGORITHMS), ("scatter", SCATTER_ALGORITHMS)):
         c = sub.add_parser(name, help=f"simulate a {name} and report costs")
-        c.add_argument("--dim", "-n", type=int, default=5, help="cube dimension")
+        c.add_argument("--dim", "-n", type=int, default=5,
+                       help="topology dimension")
+        _add_topology_options(c)
         c.add_argument("--source", "-s", type=int, default=0)
-        c.add_argument("--algorithm", "-a", choices=algos, default=algos[0])
+        c.add_argument("--algorithm", "-a", choices=algos, default=None,
+                       help=f"routing algorithm (default: {algos[0]} on the "
+                            "hypercube, ring on the torus)")
         c.add_argument("-M", "--message", type=int, default=1024,
                        help="message elements (per destination for scatter)")
         c.add_argument("-B", "--packet", type=int, default=None,
@@ -259,7 +282,81 @@ def build_parser() -> argparse.ArgumentParser:
                             "print the hottest functions")
         _add_engine_option(c)
         _add_obs_options(c)
+
+    rd = sub.add_parser(
+        "reduce", help="simulate a reduction to a root and report costs")
+    rd.add_argument("--dim", "-n", type=int, default=5,
+                    help="topology dimension")
+    _add_topology_options(rd)
+    rd.add_argument("--root", "-s", type=int, default=0,
+                    help="node the combined operand ends at")
+    rd.add_argument("--algorithm", "-a", choices=REDUCE_ALGORITHMS,
+                    default=None,
+                    help="routing algorithm (default: sbt on the "
+                         "hypercube, ring on the torus)")
+    rd.add_argument("-M", "--message", type=int, default=1024,
+                    help="operand elements per node")
+    rd.add_argument("-B", "--packet", type=int, default=None,
+                    help="packet size in elements (default: M)")
+    rd.add_argument("--ports", choices=sorted(_PORT_CHOICES), default="full",
+                    help="port model: half (1 s or r), full (1 s and r), all")
+    rd.add_argument("--ipsc", action="store_true",
+                    help="use the iPSC/d7 machine model and the event engine")
+    _add_engine_option(rd)
+    _add_obs_options(rd)
+
+    ar = sub.add_parser(
+        "allreduce",
+        help="simulate reduce-to-root then broadcast-back and report costs")
+    ar.add_argument("--dim", "-n", type=int, default=5,
+                    help="topology dimension")
+    _add_topology_options(ar)
+    ar.add_argument("--root", "-s", type=int, default=0,
+                    help="intermediate root for the two phases")
+    ar.add_argument("--reduce-algorithm", choices=REDUCE_ALGORITHMS,
+                    default=None,
+                    help="reduce-phase algorithm (default per topology)")
+    ar.add_argument("--broadcast-algorithm", choices=BROADCAST_ALGORITHMS,
+                    default=None,
+                    help="broadcast-phase algorithm (default: sbt on the "
+                         "hypercube, ring on the torus)")
+    ar.add_argument("-M", "--message", type=int, default=1024,
+                    help="operand elements per node")
+    ar.add_argument("-B", "--packet", type=int, default=None,
+                    help="packet size in elements (default: M)")
+    ar.add_argument("--ports", choices=sorted(_PORT_CHOICES), default="full",
+                    help="port model: half (1 s or r), full (1 s and r), all")
+    ar.add_argument("--ipsc", action="store_true",
+                    help="use the iPSC/d7 machine model and the event engine")
+    _add_engine_option(ar)
+    _add_obs_options(ar)
+
+    ab = sub.add_parser(
+        "all-broadcast",
+        help="simulate an all-to-all broadcast (every node learns every "
+             "node's message) and report costs")
+    ab.add_argument("--dim", "-n", type=int, default=5,
+                    help="topology dimension")
+    _add_topology_options(ab)
+    ab.add_argument("-M", "--message", type=int, default=1,
+                    help="message elements contributed per node")
+    ab.add_argument("--ports", choices=sorted(_PORT_CHOICES), default="full",
+                    help="port model: half (1 s or r), full (1 s and r), all")
+    ab.add_argument("--ipsc", action="store_true",
+                    help="use the iPSC/d7 machine model and the event engine")
+    _add_engine_option(ab)
+    _add_obs_options(ab)
     return parser
+
+
+def _build_topology(args: argparse.Namespace):
+    """The host topology a collective subcommand asked for."""
+    try:
+        return resolve_topology(
+            getattr(args, "topology", "hypercube"), args.dim, k=args.k
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _parse_dead_link(spec: str) -> tuple[int, int]:
@@ -456,6 +553,64 @@ def _run_workload_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_reduction_command(args: argparse.Namespace) -> int:
+    """Run the reduce / allreduce / all-broadcast subcommands."""
+    cube = _build_topology(args)
+    port_model = _PORT_CHOICES[args.ports]
+    machine: MachineParams | None = IPSC_D7 if args.ipsc else None
+    try:
+        if args.command == "reduce":
+            result = reduce(
+                cube, args.root,
+                message_elems=args.message, packet_elems=args.packet,
+                port_model=port_model, machine=machine,
+                run_event_sim=args.ipsc, engine=args.engine,
+                algorithm=args.algorithm,
+            )
+        elif args.command == "allreduce":
+            result = allreduce(
+                cube,
+                message_elems=args.message, packet_elems=args.packet,
+                port_model=port_model, machine=machine,
+                run_event_sim=args.ipsc, engine=args.engine,
+                root=args.root,
+                reduce_algorithm=args.reduce_algorithm,
+                broadcast_algorithm=args.broadcast_algorithm,
+            )
+        else:  # all-broadcast
+            result = all_broadcast(
+                cube, message_elems=args.message, port_model=port_model,
+                machine=machine, run_event_sim=args.ipsc, engine=args.engine,
+            )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"{args.command} on {cube} via {result.algorithm}")
+    print(f"  port model        : {port_model.describe()}")
+    print(f"  routing steps     : {result.cycles}")
+    print(f"  simulated time    : {result.time:.6g}"
+          + (" s (iPSC/d7, event-driven)" if args.ipsc
+             else " (lock-step units)"))
+    if args.command == "allreduce":
+        print(f"  reduce phase      : {result.reduce.cycles} steps, "
+              f"time {result.reduce.time:.6g}")
+        print(f"  broadcast phase   : {result.broadcast.cycles} steps, "
+              f"time {result.broadcast.time:.6g}")
+    stats = result.link_stats
+    print(f"  packets sent      : {sum(stats.packets.values())}")
+    print(f"  elements sent     : {stats.total_elems()}")
+    print(f"  busiest edge      : {stats.max_edge_elems()} elements")
+    metrics = result.metrics
+    if metrics and metrics.get("phases"):
+        phases = ", ".join(
+            f"{name} {secs * 1e3:.2f}ms"
+            for name, secs in metrics["phases"].items()
+        )
+        print(f"  phase timings     : {phases}")
+    _write_metrics(args, collective=metrics)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -503,7 +658,10 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "workload":
         return _run_workload_command(args)
 
-    cube = Hypercube(args.dim)
+    if args.command in ("reduce", "allreduce", "all-broadcast"):
+        return _run_reduction_command(args)
+
+    cube = _build_topology(args)
     port_model = _PORT_CHOICES[args.ports]
     machine: MachineParams | None = IPSC_D7 if args.ipsc else None
     faults = None
@@ -549,6 +707,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     except FaultError as exc:
         print(f"fault: {exc}", file=sys.stderr)
         return 1
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     profile = profile_schedule(cube, result.schedule, source=args.source)
     print(f"{args.command} on {cube} via {result.algorithm}")
     print(f"  port model        : {port_model.describe()}")

@@ -4,12 +4,14 @@ from repro.collectives.api import (
     BACKENDS,
     ROOTED_OPS,
     SCHEDULE_OPS,
+    all_broadcast,
     allgather,
     allreduce,
     alltoall_personalized,
     broadcast,
     check_delivery,
     collective_schedule,
+    default_algorithm,
     gather,
     reduce,
     scatter,
@@ -20,12 +22,14 @@ __all__ = [
     "BACKENDS",
     "ROOTED_OPS",
     "SCHEDULE_OPS",
+    "all_broadcast",
     "allgather",
     "allreduce",
     "alltoall_personalized",
     "broadcast",
     "check_delivery",
     "collective_schedule",
+    "default_algorithm",
     "gather",
     "reduce",
     "scatter",

@@ -1,19 +1,28 @@
-"""High-level collective operations on a simulated hypercube.
+"""High-level collective operations on a simulated topology.
 
 Each function generates the requested routing schedule, runs it on the
 lock-step engine (validating it against the port model and checking
 complete delivery), optionally times it on the event-driven engine, and
 returns a :class:`~repro.collectives.result.CollectiveResult`.
 
-Algorithms:
+Every rooted collective accepts any :class:`~repro.topology.Topology`;
+``algorithm=None`` resolves per topology (hypercube defaults below,
+``"ring"`` — the ring-decomposition spanning tree — on the torus).
 
-=========== ==========================================================
-broadcast   ``"sbt"``, ``"msbt"``, ``"tcbt"``, ``"hp"``,
-            ``"hp-centered"``, ``"hp-dual"`` (the §3.4 variations)
-scatter     ``"sbt"``, ``"bst"``, ``"tcbt"``
-gather      same as scatter (reversed schedules)
-reduce      ``"sbt"``; ``allreduce`` composes reduce + broadcast
-=========== ==========================================================
+Algorithms (hypercube):
+
+============= ========================================================
+broadcast     ``"sbt"``, ``"msbt"``, ``"tcbt"``, ``"hp"``,
+              ``"hp-centered"``, ``"hp-dual"`` (the §3.4 variations)
+scatter       ``"sbt"``, ``"bst"``, ``"tcbt"``
+gather        same as scatter (reversed schedules)
+reduce        ``"sbt"``; ``allreduce`` composes reduce + broadcast
+all_broadcast ``"dimension-exchange"`` (= allgather)
+============= ========================================================
+
+Algorithms (torus, k-ary n-cube): ``"ring"`` for the rooted ops,
+the Jung–Sakho ring-circulation ``"ring"`` schedule for
+``all_broadcast``.
 """
 
 from __future__ import annotations
@@ -22,6 +31,8 @@ from repro.cache import cached_tree
 from repro.collectives.result import AllreduceResult, CollectiveResult
 from repro.obs.runs import RunCollector
 from repro.routing import (
+    all_broadcast_initial_holdings,
+    all_broadcast_schedule,
     allgather_initial_holdings,
     allgather_schedule,
     alltoall_initial_holdings,
@@ -37,6 +48,8 @@ from repro.routing import (
     sbt_reduce_schedule,
     sbt_scatter_schedule,
     tree_broadcast_schedule,
+    tree_reduce_initial_holdings,
+    tree_reduce_schedule,
     tree_scatter_schedule,
 )
 from repro.routing.common import MSG
@@ -51,9 +64,12 @@ from repro.sim.machine import MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule
 from repro.sim.synchronous import run_synchronous
+from repro.topology.base import Topology
 from repro.topology.hypercube import Hypercube
+from repro.topology.torus import Torus
 from repro.trees.hamiltonian import HamiltonianPathTree
 from repro.trees.hp_variants import CenteredHamiltonianPathTree
+from repro.trees.ring import RingDecompositionTree
 from repro.trees.tcbt import TwoRootedCompleteBinaryTree
 
 __all__ = [
@@ -63,23 +79,29 @@ __all__ = [
     "reduce",
     "allreduce",
     "allgather",
+    "all_broadcast",
     "alltoall_personalized",
     "collective_schedule",
     "check_delivery",
+    "default_algorithm",
 ]
 
-BROADCAST_ALGORITHMS = ("sbt", "msbt", "tcbt", "hp", "hp-centered", "hp-dual")
-SCATTER_ALGORITHMS = ("sbt", "bst", "tcbt")
+BROADCAST_ALGORITHMS = (
+    "sbt", "msbt", "tcbt", "hp", "hp-centered", "hp-dual", "ring",
+)
+SCATTER_ALGORITHMS = ("sbt", "bst", "tcbt", "ring")
+REDUCE_ALGORITHMS = ("sbt", "ring")
 
 #: rooted/rootless collective kinds `collective_schedule` can build
 SCHEDULE_OPS = (
     "broadcast", "scatter", "gather", "reduce", "allgather", "alltoall",
+    "all_broadcast",
 )
 
 #: the ops within SCHEDULE_OPS whose ``source`` names a root node
 ROOTED_OPS = ("broadcast", "scatter", "gather", "reduce")
 
-#: default algorithm per collective kind
+#: default algorithm per collective kind on the hypercube
 DEFAULT_ALGORITHMS = {
     "broadcast": "msbt",
     "scatter": "bst",
@@ -87,7 +109,78 @@ DEFAULT_ALGORITHMS = {
     "reduce": "sbt",
     "allgather": "dimension-exchange",
     "alltoall": "dimension-exchange",
+    "all_broadcast": "dimension-exchange",
 }
+
+#: default algorithm per collective kind on the torus
+_TORUS_DEFAULTS = {
+    "broadcast": "ring",
+    "scatter": "ring",
+    "gather": "ring",
+    "reduce": "ring",
+    "all_broadcast": "ring",
+}
+
+
+def default_algorithm(cube: Topology, op: str) -> str:
+    """The algorithm ``op`` resolves to on ``cube`` when none is given."""
+    if op not in SCHEDULE_OPS:
+        raise ValueError(f"op must be one of {SCHEDULE_OPS}, got {op!r}")
+    if isinstance(cube, Hypercube):
+        return DEFAULT_ALGORITHMS[op]
+    if isinstance(cube, Torus):
+        try:
+            return _TORUS_DEFAULTS[op]
+        except KeyError:
+            raise ValueError(
+                f"{op!r} is not implemented on the torus"
+            ) from None
+    raise TypeError(
+        f"no default algorithm for topology {type(cube).__name__}"
+    )
+
+
+def _resolve_algorithm(cube: Topology, op: str, algorithm: str | None) -> str:
+    return default_algorithm(cube, op) if algorithm is None else algorithm
+
+
+def _ring_tree(cube: Topology, root: int) -> RingDecompositionTree:
+    """The ring-decomposition tree rooted at ``root`` on any topology.
+
+    ``RingDecompositionTree`` requires a torus host; a hypercube is
+    served by hosting the tree on the port-identical ``Torus(n, 2)``
+    (same edges, same port numbering), so the resulting schedules are
+    valid hypercube schedules.
+    """
+    if isinstance(cube, Torus):
+        host = cube
+    elif isinstance(cube, Hypercube):
+        host = Torus(cube.dimension, 2)
+    else:
+        raise TypeError(
+            f"no ring decomposition for topology {type(cube).__name__}"
+        )
+    return cached_tree(RingDecompositionTree, host, root)
+
+
+def _check_torus_supported(
+    cube: Topology,
+    op: str,
+    backend: str = "sim",
+    faults: FaultPlan | None = None,
+) -> None:
+    """Reject backend/fault combinations the torus paths don't implement."""
+    if isinstance(cube, Hypercube):
+        return
+    if backend != "sim":
+        raise ValueError(
+            f"backend {backend!r} supports the hypercube only; "
+            f"use backend='sim' for {type(cube).__name__}"
+        )
+    if faults:
+        raise ValueError(
+            f"fault-tolerant {op} is implemented on the hypercube only"
+        )
 
 #: execution backends: ``"sim"`` replays a centrally generated schedule
 #: through the engines; ``"runtime"`` executes the operation on the
@@ -131,7 +224,7 @@ def _runtime_collective(
             f"the runtime backend implements {op} for {allowed}, "
             f"got {algorithm!r}"
         )
-    collector = RunCollector(op, algorithm, backend="runtime")
+    collector = RunCollector(op, algorithm, backend="runtime", topology=cube.kind)
     with collector.phase("runtime"):
         rt = run_collective(
             cube, op, algorithm, source, message_elems, packet_elems,
@@ -174,7 +267,7 @@ def _runtime_collective(
 
 
 def _run(
-    cube: Hypercube,
+    cube: Topology,
     schedule: Schedule,
     port_model: PortModel,
     initial: dict[int, set[Chunk]],
@@ -211,9 +304,9 @@ def _run(
 
 
 def broadcast(
-    cube: Hypercube,
+    cube: Topology,
     source: int,
-    algorithm: str = "msbt",
+    algorithm: str | None = None,
     message_elems: int = 1,
     packet_elems: int | None = None,
     port_model: PortModel = PortModel.ONE_PORT_FULL,
@@ -230,10 +323,13 @@ def broadcast(
     """Broadcast ``message_elems`` from ``source`` to every other node.
 
     Args:
-        cube: the host cube.
+        cube: the host topology (hypercube or torus).
         source: broadcasting node.
         algorithm: ``"sbt"``, ``"msbt"``, ``"tcbt"``, ``"hp"``,
-            ``"hp-centered"`` or ``"hp-dual"``.
+            ``"hp-centered"`` or ``"hp-dual"`` on the hypercube;
+            ``"ring"`` (ring-decomposition spanning tree) on either
+            topology.  ``None`` (default) resolves per topology:
+            ``"msbt"`` on the hypercube, ``"ring"`` on the torus.
         message_elems: total message size ``M``.
         packet_elems: maximum packet size ``B`` (default: ``M``, one
             packet).
@@ -272,8 +368,10 @@ def broadcast(
             ``REPRO_START_METHOD``).
     """
     packet_elems = message_elems if packet_elems is None else packet_elems
+    algorithm = _resolve_algorithm(cube, "broadcast", algorithm)
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    _check_torus_supported(cube, "broadcast", backend, faults)
     if backend != "runtime" and workers is not None:
         raise ValueError(
             f"workers= requires backend='runtime', got backend={backend!r}"
@@ -290,7 +388,7 @@ def broadcast(
             port_model, machine, run_event_sim, faults, on_fault,
             engine=engine,
         )
-    collector = RunCollector("broadcast", algorithm)
+    collector = RunCollector("broadcast", algorithm, topology=cube.kind)
     with collector.phase("schedule"):
         sched = _broadcast_schedule(
             cube, source, algorithm, message_elems, packet_elems, port_model
@@ -306,13 +404,21 @@ def broadcast(
 
 
 def _broadcast_schedule(
-    cube: Hypercube,
+    cube: Topology,
     source: int,
     algorithm: str,
     message_elems: int,
     packet_elems: int,
     port_model: PortModel,
 ) -> Schedule:
+    if algorithm == "ring":
+        tree = _ring_tree(cube, source)
+        return tree_broadcast_schedule(tree, message_elems, packet_elems, port_model)
+    if not isinstance(cube, Hypercube):
+        raise ValueError(
+            f"broadcast algorithm {algorithm!r} requires a hypercube; "
+            f"use 'ring' on {type(cube).__name__}"
+        )
     if algorithm == "sbt":
         return sbt_broadcast_schedule(
             cube, source, message_elems, packet_elems, port_model
@@ -364,7 +470,7 @@ def _broadcast_with_faults(
         raise ValueError(
             f"unknown broadcast algorithm {algorithm!r}; pick one of {BROADCAST_ALGORITHMS}"
         )
-    collector = RunCollector("broadcast", algorithm)
+    collector = RunCollector("broadcast", algorithm, topology=cube.kind)
     partial = on_fault == "report"
     covered = frozenset(cube.nodes())
     sched: Schedule | None = None
@@ -397,9 +503,9 @@ def _broadcast_with_faults(
 
 
 def scatter(
-    cube: Hypercube,
+    cube: Topology,
     source: int,
-    algorithm: str = "bst",
+    algorithm: str | None = None,
     message_elems: int = 1,
     packet_elems: int | None = None,
     port_model: PortModel = PortModel.ONE_PORT_FULL,
@@ -417,9 +523,12 @@ def scatter(
     """Send a distinct ``message_elems`` message from ``source`` to each node.
 
     Args:
-        cube: the host cube.
+        cube: the host topology (hypercube or torus).
         source: distributing node.
-        algorithm: ``"sbt"``, ``"bst"`` or ``"tcbt"``.
+        algorithm: ``"sbt"``, ``"bst"`` or ``"tcbt"`` on the
+            hypercube; ``"ring"`` on either topology.  ``None``
+            (default) resolves per topology: ``"bst"`` on the
+            hypercube, ``"ring"`` on the torus.
         message_elems: per-destination message size ``M``.
         packet_elems: maximum packet size ``B`` (default: ``M``).
         port_model: port model to generate for and validate against.
@@ -451,8 +560,10 @@ def scatter(
             ``REPRO_START_METHOD``).
     """
     packet_elems = message_elems if packet_elems is None else packet_elems
+    algorithm = _resolve_algorithm(cube, "scatter", algorithm)
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    _check_torus_supported(cube, "scatter", backend, faults)
     if backend != "runtime" and workers is not None:
         raise ValueError(
             f"workers= requires backend='runtime', got backend={backend!r}"
@@ -464,7 +575,7 @@ def scatter(
             subtree_order=subtree_order, trace=trace,
             workers=workers, start_method=start_method,
         )
-    collector = RunCollector("scatter", algorithm)
+    collector = RunCollector("scatter", algorithm, topology=cube.kind)
     if faults:
         if algorithm not in SCATTER_ALGORITHMS:
             raise ValueError(
@@ -501,7 +612,7 @@ def scatter(
 
 
 def _scatter_schedule(
-    cube: Hypercube,
+    cube: Topology,
     source: int,
     algorithm: str,
     message_elems: int,
@@ -509,6 +620,14 @@ def _scatter_schedule(
     port_model: PortModel,
     subtree_order: str = "depth_first",
 ) -> Schedule:
+    if algorithm == "ring":
+        tree = _ring_tree(cube, source)
+        return tree_scatter_schedule(tree, message_elems, packet_elems, port_model)
+    if not isinstance(cube, Hypercube):
+        raise ValueError(
+            f"scatter algorithm {algorithm!r} requires a hypercube; "
+            f"use 'ring' on {type(cube).__name__}"
+        )
     if algorithm == "sbt":
         return sbt_scatter_schedule(
             cube, source, message_elems, packet_elems, port_model
@@ -526,9 +645,9 @@ def _scatter_schedule(
 
 
 def gather(
-    cube: Hypercube,
+    cube: Topology,
     root: int,
-    algorithm: str = "bst",
+    algorithm: str | None = None,
     message_elems: int = 1,
     packet_elems: int | None = None,
     port_model: PortModel = PortModel.ONE_PORT_FULL,
@@ -540,9 +659,12 @@ def gather(
 
     The schedule is the reversed scatter schedule of the same
     algorithm, hence identical step counts with transposed link loads.
+    ``algorithm=None`` resolves per topology (``"bst"`` on the
+    hypercube, ``"ring"`` on the torus).
     """
     packet_elems = message_elems if packet_elems is None else packet_elems
-    collector = RunCollector("gather", algorithm)
+    algorithm = _resolve_algorithm(cube, "gather", algorithm)
+    collector = RunCollector("gather", algorithm, topology=cube.kind)
     with collector.phase("schedule"):
         sched = gather_from_scatter(
             _scatter_schedule(cube, root, algorithm, message_elems, packet_elems, port_model)
@@ -562,7 +684,7 @@ def gather(
 
 
 def reduce(
-    cube: Hypercube,
+    cube: Topology,
     root: int,
     message_elems: int = 1,
     packet_elems: int | None = None,
@@ -570,15 +692,21 @@ def reduce(
     machine: MachineParams | None = None,
     run_event_sim: bool = False,
     engine: str | None = None,
+    algorithm: str | None = None,
 ) -> CollectiveResult:
-    """Combine an ``message_elems`` operand from every node at ``root`` (SBT)."""
+    """Combine an ``message_elems`` operand from every node at ``root``.
+
+    ``algorithm=None`` resolves per topology: ``"sbt"`` (the reversed
+    spanning binomial tree, §3 of the paper) on the hypercube,
+    ``"ring"`` (the reversed ring-decomposition tree) on the torus.
+    """
     packet_elems = message_elems if packet_elems is None else packet_elems
-    collector = RunCollector("reduce", "sbt")
+    algorithm = _resolve_algorithm(cube, "reduce", algorithm)
+    collector = RunCollector("reduce", algorithm, topology=cube.kind)
     with collector.phase("schedule"):
-        sched = sbt_reduce_schedule(
-            cube, root, message_elems, packet_elems, port_model
+        sched, initial = _reduce_schedule(
+            cube, root, algorithm, message_elems, packet_elems, port_model
         )
-    initial = reduce_initial_holdings(cube, message_elems, packet_elems)
     result = _run(
         cube, sched, port_model, initial, machine, run_event_sim,
         collector=collector, engine=engine,
@@ -587,34 +715,73 @@ def reduce(
     return result
 
 
+def _reduce_schedule(
+    cube: Topology,
+    root: int,
+    algorithm: str,
+    message_elems: int,
+    packet_elems: int,
+    port_model: PortModel,
+) -> tuple[Schedule, dict[int, set[Chunk]]]:
+    if algorithm == "ring":
+        tree = _ring_tree(cube, root)
+        sched = tree_reduce_schedule(
+            tree, message_elems, packet_elems, port_model
+        )
+        return sched, tree_reduce_initial_holdings(
+            tree, message_elems, packet_elems
+        )
+    if algorithm != "sbt" or not isinstance(cube, Hypercube):
+        raise ValueError(
+            f"reduce implements {REDUCE_ALGORITHMS}, got {algorithm!r} "
+            f"on {type(cube).__name__}"
+        )
+    sched = sbt_reduce_schedule(
+        cube, root, message_elems, packet_elems, port_model
+    )
+    return sched, reduce_initial_holdings(cube, message_elems, packet_elems)
+
+
 def allreduce(
-    cube: Hypercube,
+    cube: Topology,
     message_elems: int = 1,
     packet_elems: int | None = None,
     port_model: PortModel = PortModel.ONE_PORT_FULL,
     machine: MachineParams | None = None,
     run_event_sim: bool = False,
-    broadcast_algorithm: str = "sbt",
+    broadcast_algorithm: str | None = None,
     engine: str | None = None,
     root: int = 0,
+    reduce_algorithm: str | None = None,
 ) -> AllreduceResult:
     """Reduce to ``root`` then broadcast the result back (allreduce).
 
-    The classic two-phase composition over the paper's trees: the SBT
-    reduce is the reverse broadcast, then the combined operand is
-    broadcast from the same root.  Returns an
+    The classic two-phase composition over the paper's trees: the
+    reduce is the reverse broadcast (SBT on the hypercube, the
+    ring-decomposition tree on the torus), then the combined operand
+    is broadcast from the same root.  ``reduce_algorithm`` /
+    ``broadcast_algorithm`` default per topology (``"sbt"`` /
+    ``"sbt"`` on the hypercube, ``"ring"`` / ``"ring"`` on the
+    torus).  Returns an
     :class:`~repro.collectives.result.AllreduceResult` carrying both
     phase results, the summed cost view, and one uniform ``metrics``
     dict (``op="allreduce"``); it unpacks as ``(phase1, phase2)`` for
     callers that report the phases separately.
     """
+    reduce_algorithm = _resolve_algorithm(cube, "reduce", reduce_algorithm)
+    if broadcast_algorithm is None:
+        broadcast_algorithm = (
+            "sbt" if isinstance(cube, Hypercube)
+            else default_algorithm(cube, "broadcast")
+        )
     collector = RunCollector(
-        "allreduce", f"sbt+{broadcast_algorithm}"
+        "allreduce", f"{reduce_algorithm}+{broadcast_algorithm}",
+        topology=cube.kind,
     )
     with collector.phase("reduce"):
         phase1 = reduce(
             cube, root, message_elems, packet_elems, port_model, machine,
-            run_event_sim, engine=engine,
+            run_event_sim, engine=engine, algorithm=reduce_algorithm,
         )
     with collector.phase("broadcast"):
         phase2 = broadcast(
@@ -635,7 +802,9 @@ def allgather(
     engine: str | None = None,
 ) -> CollectiveResult:
     """All-to-all broadcast: every node ends holding every contribution."""
-    collector = RunCollector("allgather", "dimension-exchange")
+    collector = RunCollector(
+        "allgather", "dimension-exchange", topology=cube.kind
+    )
     with collector.phase("schedule"):
         sched = allgather_schedule(cube, message_elems, port_model)
     initial = allgather_initial_holdings(cube)
@@ -646,6 +815,39 @@ def allgather(
     for v in cube.nodes():
         if len(result.sync.holdings[v]) != cube.num_nodes:
             raise AssertionError(f"allgather incomplete at node {v}")
+    collector.finalize(result)
+    return result
+
+
+def all_broadcast(
+    cube: Topology,
+    message_elems: int = 1,
+    port_model: PortModel = PortModel.ONE_PORT_FULL,
+    machine: MachineParams | None = None,
+    run_event_sim: bool = False,
+    engine: str | None = None,
+) -> CollectiveResult:
+    """All-to-all broadcast on any topology: every node learns every
+    contribution.
+
+    On the hypercube this is the §4 dimension-exchange allgather; on
+    the torus it is the Jung–Sakho schedule — ``n`` sequential
+    dimension phases, each circulating the accumulated super-chunks
+    around the dimension's rings (bidirectionally under the all-port
+    model, as arc matchings under half-duplex).
+    """
+    algorithm = default_algorithm(cube, "all_broadcast")
+    collector = RunCollector("all_broadcast", algorithm, topology=cube.kind)
+    with collector.phase("schedule"):
+        sched = all_broadcast_schedule(cube, message_elems, port_model)
+    initial = all_broadcast_initial_holdings(cube)
+    result = _run(
+        cube, sched, port_model, initial, machine, run_event_sim,
+        collector=collector, engine=engine,
+    )
+    for v in cube.nodes():
+        if len(result.sync.holdings[v]) != cube.num_nodes:
+            raise AssertionError(f"all-broadcast incomplete at node {v}")
     collector.finalize(result)
     return result
 
@@ -666,7 +868,7 @@ def alltoall_personalized(
     extension, which is about ``log N`` times faster in transfer time
     under the all-port model (and requires it).
     """
-    collector = RunCollector("alltoall", algorithm)
+    collector = RunCollector("alltoall", algorithm, topology=cube.kind)
     with collector.phase("schedule"):
         if algorithm == "dimension-exchange":
             sched = alltoall_personalized_schedule(cube, message_elems, port_model)
@@ -695,7 +897,7 @@ def alltoall_personalized(
 
 
 def collective_schedule(
-    cube: Hypercube,
+    cube: Topology,
     op: str,
     algorithm: str | None = None,
     source: int = 0,
@@ -715,12 +917,14 @@ def collective_schedule(
     single merged program before execution.
 
     Args:
-        cube: the host cube.
+        cube: the host topology (``allgather``/``alltoall`` are
+            hypercube-only; use ``all_broadcast`` for the
+            topology-generic all-to-all broadcast).
         op: one of ``SCHEDULE_OPS`` (``"broadcast"``, ``"scatter"``,
             ``"gather"``, ``"reduce"``, ``"allgather"``,
-            ``"alltoall"``).
-        algorithm: algorithm within the op (default per op:
-            ``DEFAULT_ALGORITHMS``).
+            ``"alltoall"``, ``"all_broadcast"``).
+        algorithm: algorithm within the op (default per op and
+            topology: :func:`default_algorithm`).
         source: root node (rooted ops only; ignored for
             ``allgather``/``alltoall``).
         message_elems: message size ``M`` (per destination for the
@@ -735,7 +939,7 @@ def collective_schedule(
     """
     if op not in SCHEDULE_OPS:
         raise ValueError(f"op must be one of {SCHEDULE_OPS}, got {op!r}")
-    algorithm = algorithm or DEFAULT_ALGORITHMS[op]
+    algorithm = _resolve_algorithm(cube, op, algorithm)
     packet_elems = message_elems if packet_elems is None else packet_elems
     if op == "broadcast":
         sched = _broadcast_schedule(
@@ -760,15 +964,13 @@ def collective_schedule(
             for v in cube.nodes()
         }
     if op == "reduce":
-        if algorithm != "sbt":
-            raise ValueError(
-                f"reduce implements 'sbt', got {algorithm!r}"
-            )
-        sched = sbt_reduce_schedule(
-            cube, source, message_elems, packet_elems, port_model
+        return _reduce_schedule(
+            cube, source, algorithm, message_elems, packet_elems, port_model
         )
-        return sched, reduce_initial_holdings(
-            cube, message_elems, packet_elems
+    if op == "all_broadcast":
+        return (
+            all_broadcast_schedule(cube, message_elems, port_model),
+            all_broadcast_initial_holdings(cube),
         )
     if op == "allgather":
         if algorithm != "dimension-exchange":
@@ -797,7 +999,7 @@ def collective_schedule(
 
 
 def check_delivery(
-    cube: Hypercube,
+    cube: Topology,
     op: str,
     source: int,
     schedule: Schedule,
@@ -829,14 +1031,17 @@ def check_delivery(
             want = set(chunks)
         elif op == "reduce":
             # the root must end holding its own operand plus the
-            # combined partial of each SBT child (source ^ 2^j)
+            # combined partial each tree child sends in — exactly the
+            # chunks of the transfers terminating at the root (on the
+            # hypercube SBT these are the ``source ^ 2**j`` partials)
             if v != source:
                 continue
-            owners = {source} | {
-                source ^ (1 << j) for j in range(cube.dimension)
-            }
-            want = {c for c in chunks if c[1] in owners}
-        elif op == "allgather":
+            want = {c for c in chunks if c[1] == source}
+            for r in schedule.rounds:
+                for t in r:
+                    if t.dst == source:
+                        want.update(t.chunks)
+        elif op in ("allgather", "all_broadcast"):
             want = set(chunks)
         else:  # alltoall: every chunk addressed to v (c[2] = destination)
             want = {c for c in chunks if c[2] == v}
@@ -847,7 +1052,7 @@ def check_delivery(
 
 
 def _check_broadcast_delivery(
-    cube: Hypercube,
+    cube: Topology,
     result: CollectiveResult,
     covered: frozenset[int] | None = None,
 ) -> None:
@@ -859,7 +1064,7 @@ def _check_broadcast_delivery(
 
 
 def _check_scatter_delivery(
-    cube: Hypercube,
+    cube: Topology,
     source: int,
     result: CollectiveResult,
     covered: frozenset[int] | None = None,

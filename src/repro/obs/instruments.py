@@ -301,7 +301,7 @@ WORKLOAD_RUN_SECONDS = REGISTRY.histogram(
 COLLECTIVE_RUNS = REGISTRY.counter(
     "repro_collective_runs_total",
     "High-level collective operations executed.",
-    ("op", "algorithm", "backend"),
+    ("op", "algorithm", "backend", "topology"),
 )
 COLLECTIVE_PHASE_SECONDS = REGISTRY.histogram(
     "repro_collective_phase_seconds",

@@ -43,10 +43,12 @@ class RunCollector:
         algorithm: str,
         backend: str = "sim",
         registry: MetricsRegistry | None = None,
+        topology: str = "hypercube",
     ):
         self.op = op
         self.algorithm = algorithm
         self.backend = backend
+        self.topology = topology
         self._registry = registry or REGISTRY
         self._active = self._registry.enabled
         self._phases: dict[str, float] = {}
@@ -55,7 +57,7 @@ class RunCollector:
             self._registry.counter_values() if self._active else {}
         )
         self._log = get_logger(
-            op=op, algorithm=algorithm, backend=backend
+            op=op, algorithm=algorithm, backend=backend, topology=topology
         )
 
     @property
@@ -114,6 +116,7 @@ class RunCollector:
             "op": self.op,
             "algorithm": self.algorithm,
             "backend": self.backend,
+            "topology": self.topology,
             "wall_s": time.perf_counter() - self._t0,
             "phases": dict(self._phases),
             "packets_sent": sum(link_stats.packets.values()),
@@ -126,7 +129,10 @@ class RunCollector:
             "counters": self.counter_deltas(),
         }
         COLLECTIVE_RUNS.labels(
-            op=self.op, algorithm=self.algorithm, backend=self.backend
+            op=self.op,
+            algorithm=self.algorithm,
+            backend=self.backend,
+            topology=self.topology,
         ).inc()
         result.metrics = metrics
         self._log.info(

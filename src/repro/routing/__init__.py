@@ -21,6 +21,11 @@ from repro.routing.permutation import (
     permutation_initial_holdings,
     permutation_schedule,
 )
+from repro.routing.ring_allbroadcast import (
+    all_broadcast_initial_holdings,
+    all_broadcast_schedule,
+    torus_all_broadcast_schedule,
+)
 from repro.routing.reverse import (
     gather_from_scatter,
     reduce_combine_rule,
@@ -54,6 +59,9 @@ __all__ = [
     "alltoall_initial_holdings",
     "alltoall_bst_schedule",
     "alltoall_personalized_schedule",
+    "all_broadcast_initial_holdings",
+    "all_broadcast_schedule",
+    "torus_all_broadcast_schedule",
     "dual_hp_broadcast_schedule",
     "msbt_broadcast_schedule",
     "sbt_broadcast_schedule",

@@ -29,7 +29,7 @@ from repro.sim.machine import MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer
 from repro.sim.trace import LinkStats
-from repro.topology.hypercube import Hypercube
+from repro.topology.base import Topology
 
 __all__ = ["run_async_reference"]
 
@@ -82,7 +82,7 @@ class _Channel:
 
 
 def run_async_reference(
-    cube: Hypercube,
+    cube: Topology,
     schedule: Schedule,
     port_model: PortModel,
     initial_holdings: dict[int, set[Chunk]],

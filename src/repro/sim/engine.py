@@ -63,7 +63,7 @@ from repro.sim.machine import MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer
 from repro.sim.trace import LinkStats
-from repro.topology.hypercube import Hypercube
+from repro.topology.base import Topology
 
 __all__ = ["AsyncResult", "TransferLog", "run_async"]
 
@@ -138,7 +138,7 @@ class AsyncResult:
 
 
 def run_async(
-    cube: Hypercube,
+    cube: Topology,
     schedule: Schedule,
     port_model: PortModel,
     initial_holdings: dict[int, set[Chunk]],

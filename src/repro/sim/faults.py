@@ -127,6 +127,11 @@ class FaultPlan:
     every transfer it would send *or* receive.  The plan is immutable
     and hashable (via :meth:`cache_token`), so it can key caches.
 
+    ``topology`` optionally pins the plan to a host graph; the topology
+    identity becomes part of :meth:`cache_token`, so the same node/link
+    addresses on a hypercube and on a torus of equal ``n`` can never
+    share a cache entry (the addresses name different physical links).
+
     >>> plan = FaultPlan(dead_links=[(0, 1), (2, 6, 5.0)], dead_nodes=[3])
     >>> plan.blocks(1, 0, 0.0)
     ('link', (0, 1))
@@ -134,12 +139,13 @@ class FaultPlan:
     True
     """
 
-    __slots__ = ("_links", "_nodes")
+    __slots__ = ("_links", "_nodes", "_topology")
 
     def __init__(
         self,
         dead_links: Iterable[tuple] = (),
         dead_nodes: Iterable[int | tuple] = (),
+        topology: object | None = None,
     ):
         links: dict[tuple[int, int], float] = {}
         for item in dead_links:
@@ -169,6 +175,12 @@ class FaultPlan:
             nodes[v] = float(at) if prev is None else min(prev, float(at))
         self._links = links
         self._nodes = nodes
+        if topology is None:
+            self._topology: tuple | None = None
+        else:
+            from repro.topology.base import topology_token
+
+            self._topology = topology_token(topology)
 
     # -- structure ----------------------------------------------------------
 
@@ -239,10 +251,16 @@ class FaultPlan:
 
     # -- identity -----------------------------------------------------------
 
+    @property
+    def topology_token(self) -> tuple | None:
+        """Identity of the pinned host topology, or ``None`` if unpinned."""
+        return self._topology
+
     def cache_token(self) -> tuple:
         """Hashable canonical identity, suitable as a cache-key component."""
         return (
             "faultplan",
+            self._topology,
             tuple(sorted(self._links.items())),
             tuple(sorted(self._nodes.items())),
         )

@@ -26,9 +26,10 @@ Lowering is machine- and port-model-independent: the same
 :class:`~repro.sim.machine.MachineParams`.  It *does* bake in the
 initial holdings (they define the slot table and ``init_avail``).
 
-Adjacency validation is vectorized: every transfer must cross exactly
-one cube dimension.  Offending transfers are re-checked through
-:meth:`Hypercube.port_towards` so the error message matches the
+Adjacency validation is vectorized through the topology's
+``edge_ports``: every transfer must cross exactly one port of the host
+graph (a cube dimension, a torus ring step).  Offending transfers are
+re-checked through ``port_towards`` so the error message matches the
 object-path engines.
 """
 
@@ -39,7 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sim.schedule import Chunk, Schedule, Transfer
-from repro.topology.hypercube import Hypercube
+from repro.topology.base import Topology
 
 __all__ = ["LoweredSchedule", "lower_schedule"]
 
@@ -106,7 +107,7 @@ class LoweredSchedule:
 
 
 def lower_schedule(
-    cube: Hypercube,
+    cube: Topology,
     schedule: Schedule,
     initial_holdings: dict[int, set[Chunk]],
     release_times: dict[Chunk, float] | None = None,
@@ -182,23 +183,14 @@ def lower_schedule(
     elems = np.asarray(elems_l, dtype=np.int64).reshape(n_transfers)
 
     # -- adjacency validation + port extraction (vectorized) ---------------
-    diff = src ^ dst
-    ok = (
-        (src >= 0) & (src < num_nodes)
-        & (dst >= 0) & (dst < num_nodes)
-        & (diff > 0) & ((diff & (diff - 1)) == 0)
-    )
-    if not bool(ok.all()):
-        bad = int(np.flatnonzero(~ok)[0])
+    port = cube.edge_ports(src, dst).astype(np.int32).reshape(n_transfers)
+    if n_transfers and not bool((port >= 0).all()):
+        bad = int(np.flatnonzero(port < 0)[0])
         # re-raise through the canonical validators for the same message
         cube.check_node(transfers[bad].src)
         cube.check_node(transfers[bad].dst)
         cube.port_towards(transfers[bad].src, transfers[bad].dst)
         raise AssertionError("unreachable")  # pragma: no cover
-    if n_transfers:
-        port = np.round(np.log2(diff.astype(np.float64))).astype(np.int32)
-    else:
-        port = np.zeros(0, dtype=np.int32)
 
     # -- dense directed-link ids -------------------------------------------
     edge_key = src * num_nodes + dst

@@ -41,7 +41,7 @@ from repro.sim.machine import MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer
 from repro.sim.trace import LinkStats
-from repro.topology.hypercube import Hypercube
+from repro.topology.base import Topology
 
 __all__ = ["SyncResult", "run_synchronous", "check_round_constraints"]
 
@@ -80,7 +80,7 @@ _VECTOR_THRESHOLD = 8
 
 
 def _round_ok_vectorized(
-    cube: Hypercube,
+    cube: Topology,
     round_transfers: tuple[Transfer, ...],
     port_model: PortModel,
 ) -> bool:
@@ -94,10 +94,7 @@ def _round_ok_vectorized(
     src = _np.fromiter((t.src for t in round_transfers), dtype=_np.int64, count=k)
     dst = _np.fromiter((t.dst for t in round_transfers), dtype=_np.int64, count=k)
     num = cube.num_nodes
-    if ((src < 0) | (src >= num) | (dst < 0) | (dst >= num)).any():
-        return False
-    diff = src ^ dst
-    if ((diff == 0) | (diff & (diff - 1) != 0)).any():  # not a cube edge
+    if (cube.edge_ports(src, dst) < 0).any():  # not an edge of the topology
         return False
     keys = src * num + dst
     if _np.unique(keys).size != k:  # directed edge used twice
@@ -114,7 +111,7 @@ def _round_ok_vectorized(
 
 
 def check_round_constraints(
-    cube: Hypercube,
+    cube: Topology,
     round_transfers: tuple[Transfer, ...],
     port_model: PortModel,
     round_index: int,
@@ -168,7 +165,7 @@ def check_round_constraints(
 
 
 def run_synchronous(
-    cube: Hypercube,
+    cube: Topology,
     schedule: Schedule,
     port_model: PortModel,
     initial_holdings: dict[int, set[Chunk]],

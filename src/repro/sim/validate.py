@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Schedule
 from repro.sim.synchronous import check_round_constraints
-from repro.topology.hypercube import Hypercube
+from repro.topology.base import Topology
 
 __all__ = [
     "ScheduleProfile",
@@ -65,7 +65,7 @@ class ScheduleProfile:
 
 
 def profile_schedule(
-    cube: Hypercube,
+    cube: Topology,
     schedule: Schedule,
     source: int | None = None,
 ) -> ScheduleProfile:
@@ -156,7 +156,7 @@ def peak_buffer_elems(schedule: Schedule, node: int) -> int:
 
 
 def assert_schedule_valid(
-    cube: Hypercube,
+    cube: Topology,
     schedule: Schedule,
     port_model: PortModel,
 ) -> None:

@@ -78,7 +78,8 @@ from repro.sim.machine import MachineParams
 from repro.sim.ports import PortModel
 from repro.sim.schedule import Chunk, Schedule, Transfer
 from repro.sim.trace import LinkStats
-from repro.topology.hypercube import DirectedEdge, Hypercube
+from repro.topology.base import Topology
+from repro.topology.hypercube import DirectedEdge
 
 __all__ = ["run_async_vectorized"]
 
@@ -86,7 +87,7 @@ _INF = float("inf")
 
 
 def run_async_vectorized(
-    cube: Hypercube,
+    cube: Topology,
     schedule: Schedule,
     port_model: PortModel,
     initial_holdings: dict[int, set[Chunk]],
@@ -168,7 +169,7 @@ def run_async_vectorized(
     inq = [False] * nT
     link_free_py = [0.0] * low.n_links
     num_nodes = cube.num_nodes
-    n_ports = cube.dimension
+    n_ports = cube.num_ports
     if use_lb:
         # Exact channel windows, pruned like _Channel.
         swin: list[list[tuple[int, float, float]]] = [

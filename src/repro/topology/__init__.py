@@ -1,5 +1,11 @@
-"""Hypercube topology substrate: the cube graph, checks, embeddings."""
+"""Topology substrate: the Topology protocol, hypercube and torus graphs."""
 
+from repro.topology.base import (
+    TOPOLOGY_KINDS,
+    Topology,
+    resolve_topology,
+    topology_token,
+)
 from repro.topology.embedding import EmbeddingMetrics, evaluate_embedding
 from repro.topology.fault import (
     fault_avoiding_spanning_tree,
@@ -14,6 +20,7 @@ from repro.topology.graph import (
     tree_edges_from_parents,
 )
 from repro.topology.hypercube import DirectedEdge, Hypercube
+from repro.topology.torus import Torus
 from repro.topology.permutation_routing import (
     bit_reversal_permutation,
     ecube_path,
@@ -26,6 +33,11 @@ from repro.topology.permutation_routing import (
 __all__ = [
     "DirectedEdge",
     "Hypercube",
+    "Torus",
+    "Topology",
+    "TOPOLOGY_KINDS",
+    "resolve_topology",
+    "topology_token",
     "EmbeddingMetrics",
     "evaluate_embedding",
     "bfs_levels",

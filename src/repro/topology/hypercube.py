@@ -13,6 +13,8 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 from math import comb
 
+from typing import Any
+
 from repro.bits.ops import (
     bit,
     flip_bit,
@@ -21,6 +23,7 @@ from repro.bits.ops import (
     mask,
     popcount,
 )
+from repro.topology.base import Topology
 
 __all__ = ["Hypercube", "DirectedEdge"]
 
@@ -55,7 +58,7 @@ class DirectedEdge:
         return (min(self.src, self.dst), max(self.src, self.dst))
 
 
-class Hypercube:
+class Hypercube(Topology):
     """A Boolean cube of dimension ``n`` with ``N = 2**n`` nodes.
 
     >>> q = Hypercube(3)
@@ -66,6 +69,8 @@ class Hypercube:
     >>> q.distance(0b000, 0b101)
     2
     """
+
+    kind = "hypercube"
 
     def __init__(self, n: int):
         if n < 1:
@@ -88,6 +93,11 @@ class Hypercube:
     def num_nodes(self) -> int:
         """``N = 2**n``."""
         return 1 << self._n
+
+    @property
+    def num_ports(self) -> int:
+        """Ports per node — one per dimension, ``n``."""
+        return self._n
 
     @property
     def num_links(self) -> int:
@@ -278,6 +288,29 @@ class Hypercube:
         self.check_node(node)
         self.check_node(by)
         return node ^ by
+
+    def edge_ports(self, src, dst):  # type: ignore[no-untyped-def]
+        """Vectorized ``port_towards``: the flipped bit, ``-1`` for non-edges."""
+        import numpy as np
+
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        diff = src ^ dst
+        ok = (
+            (src >= 0)
+            & (src < self.num_nodes)
+            & (dst >= 0)
+            & (dst < self.num_nodes)
+            & (diff > 0)
+            & ((diff & (diff - 1)) == 0)
+        )
+        safe = np.where(ok, diff, 1)
+        port = np.round(np.log2(safe.astype(np.float64))).astype(np.int32)
+        return np.where(ok, port, np.int32(-1))
+
+    def cache_token(self) -> tuple[Any, ...]:
+        """``("hypercube", n)`` — distinct from any torus of the same n."""
+        return ("hypercube", self._n)
 
     def __repr__(self) -> str:
         return f"Hypercube(n={self._n}, N={self.num_nodes})"

@@ -1,6 +1,7 @@
-"""Spanning structures of the hypercube: SBT, MSBT, BST, TCBT, HP."""
+"""Spanning structures: SBT, MSBT, BST, TCBT, HP, and torus ring trees."""
 
 from repro.trees.base import SpanningTree
+from repro.trees.ring import RingDecompositionTree
 from repro.trees.bst import (
     BalancedSpanningTree,
     bst_children,
@@ -25,6 +26,7 @@ from repro.trees.tcbt import TwoRootedCompleteBinaryTree, build_drcbt
 
 __all__ = [
     "SpanningTree",
+    "RingDecompositionTree",
     "SpanningBinomialTree",
     "sbt_children",
     "sbt_parent",

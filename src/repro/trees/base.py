@@ -13,21 +13,24 @@ from abc import ABC, abstractmethod
 from collections import deque
 from functools import cached_property
 
+from repro.topology.base import Topology, topology_token
 from repro.topology.graph import check_spanning_tree
-from repro.topology.hypercube import DirectedEdge, Hypercube
+from repro.topology.hypercube import DirectedEdge
 
 __all__ = ["SpanningTree"]
 
 
 class SpanningTree(ABC):
-    """A directed spanning tree of a hypercube, rooted at ``root``.
+    """A directed spanning tree of a topology, rooted at ``root``.
 
     Subclasses implement :meth:`parent`; consistency of any separately
     defined children function with the parent function is asserted by
-    :meth:`validate`.
+    :meth:`validate`.  The host graph is any :class:`Topology` (the
+    paper's tree families require a hypercube; the ring-decomposition
+    tree requires a torus).
     """
 
-    def __init__(self, cube: Hypercube, root: int = 0):
+    def __init__(self, cube: Topology, root: int = 0):
         self._cube = cube
         self._root = cube.check_node(root)
 
@@ -40,8 +43,8 @@ class SpanningTree(ABC):
     # -- basic accessors -----------------------------------------------------
 
     @property
-    def cube(self) -> Hypercube:
-        """The host hypercube."""
+    def cube(self) -> Topology:
+        """The host topology."""
         return self._cube
 
     @property
@@ -55,7 +58,11 @@ class SpanningTree(ABC):
         return self._cube.dimension
 
     def relative(self, node: int) -> int:
-        """Relative address ``node XOR root`` (the paper's ``c``)."""
+        """Relative address ``node XOR root`` (the paper's ``c``).
+
+        Hypercube-specific; the torus tree families use coordinate
+        arithmetic instead.
+        """
         return node ^ self._root
 
     def cache_token(self) -> tuple:
@@ -63,10 +70,13 @@ class SpanningTree(ABC):
 
         Two trees with equal tokens must be structurally identical;
         construction of every family here is deterministic in
-        ``(class, n, root)``, so that triple suffices.  Subclasses with
-        extra identity (e.g. the ERSBT tree index) must extend this.
+        ``(class, topology, root)``, so that triple suffices.  The
+        topology token (e.g. ``("torus", n, k)``) keeps trees of
+        different hosts at the same ``n`` from ever colliding.
+        Subclasses with extra identity (e.g. the ERSBT tree index) must
+        extend this.
         """
-        return (type(self).__qualname__, self.n, self._root)
+        return (type(self).__qualname__, topology_token(self._cube), self._root)
 
     # -- derived structure ----------------------------------------------------
 

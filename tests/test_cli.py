@@ -18,7 +18,10 @@ class TestParser:
 
     def test_broadcast_defaults(self):
         args = build_parser().parse_args(["broadcast"])
-        assert args.dim == 5 and args.algorithm == "sbt" and args.ports == "full"
+        assert args.dim == 5 and args.ports == "full"
+        # algorithm defaults to per-topology resolution, not a fixed name
+        assert args.algorithm is None
+        assert args.topology == "hypercube" and args.k == 3
 
 
 class TestCommands:
